@@ -1,0 +1,119 @@
+"""Ablation (ours): multi-release catch-up — hop, compose, direct, full.
+
+The paper's scenario assumes the device is one release behind.  Fleets
+drift: a device may be many releases back.  The server's options:
+
+* **hop** — ship every intermediate in-place delta; the device applies
+  them one after another (N transfers, N reconstructions);
+* **compose** — fold the stored per-release deltas into one
+  (`repro.core.compose`), convert once, ship once — no access to the
+  full old versions needed;
+* **direct** — recompute a fresh delta from the stored endpoint
+  versions (best size, needs both full versions on the server);
+* **full** — ship the new image.
+
+The sweep measures payload bytes and simulated transfer time per
+catch-up distance, and verifies all strategies land the same image.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import write_report
+from repro.analysis.tables import format_bytes, render_table
+from repro.core.apply import apply_in_place
+from repro.core.compose import compose_chain
+from repro.core.convert import make_in_place
+from repro.delta import FORMAT_INPLACE, correcting_delta, encode_delta, encoded_size
+from repro.device.channel import get_channel
+from repro.workloads import make_binary_blob, mutate
+
+RELEASES = 7
+
+
+@pytest.fixture(scope="module")
+def release_chain():
+    rng = random.Random(77)
+    versions = [make_binary_blob(rng, 80_000)]
+    for _ in range(RELEASES - 1):
+        versions.append(mutate(versions[-1], rng))
+    deltas = [correcting_delta(a, b) for a, b in zip(versions, versions[1:])]
+    return versions, deltas
+
+
+def _in_place_payload(script, reference) -> bytes:
+    converted = make_in_place(script, reference)
+    return encode_delta(converted.script, FORMAT_INPLACE)
+
+
+def test_catch_up_strategies(benchmark, release_chain):
+    versions, deltas = release_chain
+    channel = get_channel("modem-28.8k")
+
+    def run():
+        rows = []
+        for behind in (1, 2, 4, RELEASES - 1):
+            old = versions[-1 - behind]
+            new = versions[-1]
+            chain = deltas[-behind:]
+            # hop: convert each step against its own reference.
+            hop_bytes = 0
+            image = bytearray(old)
+            for i, step in enumerate(chain):
+                ref_bytes = bytes(image)
+                payload = _in_place_payload(step, ref_bytes)
+                hop_bytes += len(payload)
+                from repro.delta import decode_delta
+
+                script, _ = decode_delta(payload)
+                apply_in_place(script, image, strict=True)
+            assert bytes(image) == new
+            # compose: one converted payload from the stored deltas.
+            composed = compose_chain(chain)
+            composed_payload = _in_place_payload(composed, old)
+            image2 = bytearray(old)
+            from repro.delta import decode_delta
+
+            script, _ = decode_delta(composed_payload)
+            apply_in_place(script, image2, strict=True)
+            assert bytes(image2) == new
+            # direct: fresh delta from the endpoint versions.
+            direct_payload = _in_place_payload(correcting_delta(old, new), old)
+            rows.append((behind, hop_bytes, len(composed_payload),
+                         len(direct_payload), len(new)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = [["releases behind", "hop", "composed", "direct", "full image"]]
+    for behind, hop, composed, direct, full in rows:
+        table.append([
+            str(behind), format_bytes(hop), format_bytes(composed),
+            format_bytes(direct), format_bytes(full),
+        ])
+    channel_note = []
+    behind, hop, composed, direct, full = rows[-1]
+    for label, nbytes in (("hop", hop), ("composed", composed),
+                          ("direct", direct), ("full", full)):
+        channel_note.append("  %-9s %6.1f s" % (label, channel.transfer_time(nbytes)))
+    write_report(
+        "chain_updates",
+        "catching up a device that is N releases behind (80 KB image)\n\n"
+        + render_table(table)
+        + "\n\ntransfer over %s at %d releases behind:\n%s"
+        % (channel.name, behind, "\n".join(channel_note)),
+    )
+
+    for behind, hop, composed, direct, full in rows:
+        assert direct <= composed * 1.1, "direct should be (near-)smallest"
+        assert composed < full, "composed delta must beat a full image"
+        if behind > 1:
+            # Composition folds away intermediate churn hops carry.
+            assert composed <= hop
+
+
+def test_bench_compose_kernel(benchmark, release_chain):
+    _versions, deltas = release_chain
+    benchmark(lambda: compose_chain(deltas))

@@ -1,0 +1,59 @@
+"""Sections 2/7: delta compression factors on distributed software.
+
+Paper (section 7, prose)::
+
+    "Delta compression algorithms compatible with in-place reconstruction
+    compress a large body of distributed software by a factor of 4 to 10
+    and reduce the amount of time required to transmit these files over
+    low bandwidth channels accordingly."
+
+The per-file factor distribution over the corpus is reported along with
+the per-kind breakdown (binaries compress differently from changelogs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_report
+from repro.analysis.metrics import compression_factor
+from repro.analysis.tables import render_table
+
+
+def test_compression_factor_distribution(benchmark, corpus, corpus_measurements):
+    def run():
+        return sorted(compression_factor(m) for m in corpus_measurements)
+
+    factors = benchmark.pedantic(run, rounds=1, iterations=1)
+    n = len(factors)
+    in_band = sum(1 for f in factors if 4.0 <= f <= 10.0) / n
+    median = factors[n // 2]
+
+    kinds = {}
+    for pair, m in zip(corpus.pairs(), corpus_measurements):
+        kinds.setdefault(pair.kind, []).append(compression_factor(m))
+    kind_rows = [["kind", "files", "median factor"]]
+    for kind, values in sorted(kinds.items()):
+        values.sort()
+        kind_rows.append([kind, str(len(values)), "%.1fx" % values[len(values) // 2]])
+
+    write_report(
+        "compression_factor",
+        "paper: software compresses by a factor of 4 to 10\n"
+        "measured: median %.1fx, min %.1fx, max %.1fx, %.0f%% of files in [4x, 10x]\n\n%s"
+        % (median, factors[0], factors[-1], 100 * in_band, render_table(kind_rows)),
+    )
+    # Shape: the bulk of the corpus lands in or near the paper's band.
+    assert 3.0 < median < 15.0
+
+
+def test_bench_factor_pipeline(benchmark, corpus):
+    """Timing kernel: one full measure (diff + encode) of a mid-size pair."""
+    from repro.analysis.metrics import measure_pair
+
+    pairs = sorted(corpus.pairs(), key=lambda p: len(p.version))
+    pair = pairs[len(pairs) // 2]
+    benchmark(
+        lambda: measure_pair(pair.name, pair.reference, pair.version,
+                             policies=("local-min",))
+    )

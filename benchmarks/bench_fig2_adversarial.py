@@ -1,0 +1,82 @@
+"""Figure 2: the adversarial CRWI digraph where locally-minimum fails.
+
+Paper (section 5, Figure 2)::
+
+    "A CRWI digraph constructed from a binary tree by adding a directed
+    edge from each leaf to the root node.  The locally minimum cycle
+    breaking policy performs poorly on this CRWI digraph, removing each
+    leaf vertex, instead of the root vertex. ... the size of the delta
+    associated with the locally minimum solution grows arbitrarily larger
+    than that of the globally optimal solution as n increases."
+
+The construction here is a *real* delta file (reference bytes + copy
+commands) whose conflict digraph is exactly the figure's shape, so every
+policy runs the full pipeline.  The sweep shows the local-min/optimal
+cost ratio growing linearly in the leaf count while the exact solver
+(branch and bound) always finds the root.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_report
+from repro.analysis.adversarial import figure2_case, figure2_expected_costs
+from repro.analysis.tables import render_table
+from repro.core.convert import make_in_place
+
+DEPTHS = [1, 2, 3, 4, 5]
+
+
+def test_figure2_policy_cost_sweep(benchmark):
+    def run():
+        rows = []
+        for depth in DEPTHS:
+            case = figure2_case(depth)
+            local = make_in_place(case.script, case.reference, policy="local-min")
+            const = make_in_place(case.script, case.reference, policy="constant")
+            optimal = make_in_place(case.script, case.reference, policy="optimal")
+            rows.append((depth, 2 ** depth,
+                         const.report.eviction_cost,
+                         local.report.eviction_cost,
+                         optimal.report.eviction_cost))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = [["depth", "leaves", "constant", "local-min", "optimal",
+              "local/optimal", "expected local", "expected optimal"]]
+    for depth, leaves, c_cost, l_cost, o_cost in rows:
+        exp_local, exp_opt = figure2_expected_costs(depth)
+        table.append([
+            str(depth), str(leaves), str(c_cost), str(l_cost), str(o_cost),
+            "%.1fx" % (l_cost / o_cost), str(exp_local), str(exp_opt),
+        ])
+    write_report(
+        "figure2_adversarial",
+        "paper: local-min deletes every leaf; optimal deletes the root;\n"
+        "the gap grows without bound as the tree widens\n\n"
+        + render_table(table),
+    )
+
+    for depth, leaves, c_cost, l_cost, o_cost in rows:
+        exp_local, exp_opt = figure2_expected_costs(depth)
+        assert l_cost == exp_local, "local-min must evict every leaf"
+        assert o_cost == exp_opt, "optimal must evict only the root"
+    # The ratio grows linearly with the leaf count.
+    ratios = [l / o for _, _, _, l, o in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 4 * ratios[0]
+
+
+def test_bench_figure2_local_min(benchmark):
+    case = figure2_case(6)  # 64 leaves, 127 vertices
+    benchmark(lambda: make_in_place(case.script, case.reference, policy="local-min"))
+
+
+def test_bench_figure2_exact_optimal(benchmark):
+    from repro.core.crwi import build_crwi_digraph
+    from repro.core.policies import exact_minimum_evictions
+
+    case = figure2_case(6)
+    graph = build_crwi_digraph(case.script)
+    benchmark(lambda: exact_minimum_evictions(graph, max_vertices=200))

@@ -1,0 +1,109 @@
+"""Section 7 runtime claims: conversion time vs delta-compression time.
+
+Paper (section 7, prose)::
+
+    "Over all inputs, the in-place conversion algorithm completed in 56%
+    the amount of total time used by the delta compression algorithm.
+    The run-time of the in-place conversion algorithm only exceeded the
+    delta compression run-time on 0.1% of all inputs and never took more
+    that twice as much time."
+
+This bench times both stages per corpus pair, reports the total-time
+ratio and the distribution of per-input ratios, and uses the single
+largest pair as the pytest-benchmark kernels so regressions in either
+stage are visible in the timing table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import write_report
+from repro.analysis.tables import render_kv
+from repro.analysis.timing import ratio_stats, weighted_time_ratio
+from repro.core.convert import make_in_place
+from repro.delta import correcting_delta
+
+
+@pytest.fixture(scope="module")
+def stage_times(corpus):
+    """(diff_seconds, convert_seconds, name) per pair, best-of-2 each."""
+    rows = []
+    for pair in corpus.pairs():
+        best_diff = float("inf")
+        script = None
+        for _ in range(2):
+            t0 = time.perf_counter()
+            script = correcting_delta(pair.reference, pair.version)
+            best_diff = min(best_diff, time.perf_counter() - t0)
+        best_conv = float("inf")
+        for _ in range(2):
+            t0 = time.perf_counter()
+            make_in_place(script, pair.reference, policy="local-min")
+            best_conv = min(best_conv, time.perf_counter() - t0)
+        rows.append((best_diff, best_conv, pair.name))
+    return rows
+
+
+def test_runtime_ratio_report(benchmark, stage_times):
+    stats = benchmark.pedantic(
+        lambda: ratio_stats([c / d for d, c, _ in stage_times]),
+        rounds=1, iterations=1,
+    )
+    total_ratio = weighted_time_ratio(
+        [c for _, c, _ in stage_times], [d for d, _, _ in stage_times]
+    )
+    slowest = max(stage_times, key=lambda r: r[1] / r[0])
+    write_report(
+        "runtime_ratio",
+        render_kv(
+            "conversion time / delta compression time",
+            [
+                ("paper: total-time ratio", "0.56"),
+                ("measured: total-time ratio", "%.2f" % total_ratio),
+                ("measured: mean per-input ratio", "%.2f" % stats.mean),
+                ("measured: median per-input ratio", "%.2f" % stats.median),
+                ("paper: fraction of inputs over 1.0", "0.001"),
+                ("measured: fraction of inputs over 1.0",
+                 "%.3f" % stats.fraction_over_one),
+                ("paper: max ratio", "< 2.0"),
+                ("measured: max ratio", "%.2f (%s)" % (stats.maximum, slowest[2])),
+                ("inputs", stats.count),
+            ],
+        ),
+    )
+    # Shape: conversion is cheaper than compression in total, and no
+    # input takes more than ~2x (allow slack for interpreter noise).
+    assert total_ratio < 1.0
+    assert stats.maximum < 3.0
+
+
+def test_bench_delta_compression(benchmark, corpus):
+    """Timing kernel: delta-compress the largest corpus pair."""
+    pair = max(corpus.pairs(), key=lambda p: len(p.version))
+    benchmark(lambda: correcting_delta(pair.reference, pair.version))
+
+
+def test_bench_in_place_conversion(benchmark, corpus):
+    """Timing kernel: convert the largest corpus pair's delta."""
+    pair = max(corpus.pairs(), key=lambda p: len(p.version))
+    script = correcting_delta(pair.reference, pair.version)
+    benchmark(lambda: make_in_place(script, pair.reference, policy="local-min"))
+
+
+def test_bench_in_place_apply(benchmark, corpus):
+    """Timing kernel: in-place application on the device side."""
+    from repro.core.apply import apply_in_place
+
+    pair = max(corpus.pairs(), key=lambda p: len(p.version))
+    script = correcting_delta(pair.reference, pair.version)
+    converted = make_in_place(script, pair.reference).script
+
+    def run():
+        buf = bytearray(pair.reference)
+        apply_in_place(converted, buf, strict=False)
+        return buf
+
+    benchmark(run)

@@ -1,0 +1,62 @@
+"""Shared fixtures and report plumbing for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md).  Reports are printed to stdout (run
+with ``pytest benchmarks/ --benchmark-only -s`` to see them live) and
+written to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote
+them.
+
+The corpus here is the full-size benchmark corpus; the expensive
+measurement pipeline runs once per session and is shared by the Table 1,
+runtime, policy, and compression-factor benches.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.analysis.metrics import PairMeasurement, measure_pair
+from repro.workloads import Corpus
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Corpus scale for the benches: large enough to be statistically
+#: meaningful, small enough that the whole suite runs in minutes.
+CORPUS_SCALE = 0.5
+CORPUS_PACKAGES = 10
+CORPUS_RELEASES = 3
+
+
+@pytest.fixture(scope="session")
+def corpus() -> Corpus:
+    """The synthetic software-distribution corpus (GNU/BSD stand-in)."""
+    return Corpus(
+        seed=19980601,
+        packages=CORPUS_PACKAGES,
+        releases=CORPUS_RELEASES,
+        scale=CORPUS_SCALE,
+    )
+
+
+@pytest.fixture(scope="session")
+def corpus_measurements(corpus) -> List[PairMeasurement]:
+    """Full measurement pipeline over every corpus pair, computed once."""
+    return [
+        measure_pair(pair.name, pair.reference, pair.version,
+                     policies=("constant", "local-min"))
+        for pair in corpus.pairs()
+    ]
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a bench report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    body = "# %s — generated %s\n%s\n" % (name, stamp, text)
+    (RESULTS_DIR / ("%s.txt" % name)).write_text(body)
+    print()
+    print(body)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's worst-case constructions interactively.
+
+Walks through Figure 2 (the binary-tree adversary where the locally-
+minimum policy pays k times the optimal cost) and Figure 3 (the file
+pair whose conflict digraph meets the Lemma 1 edge bound exactly), with
+every number computed from real delta scripts over real bytes.
+
+Run:  python examples/adversarial_analysis.py
+"""
+
+from repro.analysis.adversarial import (
+    figure2_case,
+    figure2_expected_costs,
+    figure3_case,
+)
+from repro.analysis.tables import render_table
+from repro.core.apply import apply_delta, apply_in_place
+from repro.core.convert import make_in_place
+from repro.core.crwi import build_crwi_digraph
+
+
+def figure2_demo() -> None:
+    print("Figure 2 — binary tree with leaf-to-root back edges")
+    print("=" * 60)
+    rows = [["depth", "leaves", "local-min cost", "optimal cost", "ratio"]]
+    for depth in (2, 3, 4, 5):
+        case = figure2_case(depth)
+        local = make_in_place(case.script, case.reference, policy="local-min")
+        optimal = make_in_place(case.script, case.reference, policy="optimal")
+        expected_local, expected_optimal = figure2_expected_costs(depth)
+        assert local.report.eviction_cost == expected_local
+        assert optimal.report.eviction_cost == expected_optimal
+        rows.append([
+            str(depth), str(2 ** depth),
+            str(local.report.eviction_cost),
+            str(optimal.report.eviction_cost),
+            "%.1fx" % (local.report.eviction_cost / optimal.report.eviction_cost),
+        ])
+        # Both scripts still reconstruct the same version, in place.
+        version = apply_delta(case.script, case.reference)
+        for result in (local, optimal):
+            buf = bytearray(case.reference)
+            apply_in_place(result.script, buf, strict=True)
+            assert bytes(buf) == version
+    print(render_table(rows))
+    print("local-min evicts every leaf; the exact solver evicts only the")
+    print("root. The gap grows linearly in the leaf count — no per-cycle")
+    print("policy approximates the (NP-hard) optimum.\n")
+
+
+def figure3_demo() -> None:
+    print("Figure 3 — quadratic conflicts, Lemma 1 met with equality")
+    print("=" * 60)
+    rows = [["block B", "L_V = B^2", "commands", "CRWI edges", "Lemma 1 bound"]]
+    for block in (8, 16, 32, 64):
+        case = figure3_case(block)
+        graph = build_crwi_digraph(case.script)
+        rows.append([
+            str(block), str(case.script.version_length),
+            str(len(case.script.commands)), str(graph.edge_count),
+            str(case.script.version_length),
+        ])
+        assert graph.edge_count == case.script.version_length
+    print(render_table(rows))
+    print("edges grow as the square of the command count and saturate the")
+    print("Lemma 1 ceiling |E| <= L_V — the bound is tight.\n")
+
+
+if __name__ == "__main__":
+    figure2_demo()
+    figure3_demo()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Survive power failure in the middle of an in-place firmware update.
+
+In-place reconstruction's classic operational risk: the power dies with
+the image half old, half new — and because copies destroyed their
+sources, just re-running the delta cannot recover.  The journaled
+applier fixes this with a tiny durable record (see
+repro/device/journal.py).  This demo yanks the power at random moments
+across an update, reboots, resumes — and the image always comes out
+bit-exact.
+
+Run:  python examples/crash_recovery.py
+"""
+
+import random
+
+import repro
+from repro.analysis.tables import format_bytes, render_table
+from repro.device.journal import (
+    CrashingStorage,
+    Journal,
+    JournaledApplier,
+    PowerFailureError,
+)
+from repro.workloads import make_binary_blob, mutate
+
+
+def main() -> None:
+    rng = random.Random(13)
+    v1 = make_binary_blob(rng, 128_000)
+    v2 = mutate(v1, rng)
+    result = repro.diff_in_place(v1, v2)
+    script = result.script
+    print("firmware: %s -> %s, delta with %d commands"
+          % (format_bytes(len(v1)), format_bytes(len(v2)), len(script)))
+
+    # How many storage writes does a clean run take?  (That's the space
+    # of possible crash points.)
+    probe = CrashingStorage(v1)
+    JournaledApplier(script, Journal()).run(probe)
+    total_writes = probe.bytes_written
+    print("a clean update writes %s to flash\n" % format_bytes(total_writes))
+
+    rows = [["boot", "power died after", "journal state", "image"]]
+    storage = CrashingStorage(v1)   # flash: persists across reboots
+    journal = Journal()             # journal sector: persists too
+    boot = 0
+    while not journal.complete:
+        boot += 1
+        # An adversarial power supply: each boot survives only a random
+        # slice of the remaining work.
+        storage.fuel = rng.randint(1, max(2, total_writes // 3))
+        fuel_label = format_bytes(storage.fuel)
+        try:
+            JournaledApplier(script, journal).run(storage)
+            state = "complete"
+        except PowerFailureError:
+            state = "command %d of %d" % (journal.next_index, len(script))
+        snapshot = storage.snapshot()
+        image = ("== v2" if snapshot == v2 else
+                 "== v1" if snapshot == v1 else "mixed (mid-update)")
+        rows.append(["#%d" % boot, fuel_label, state, image])
+
+    print(render_table(rows))
+    assert storage.snapshot() == v2
+    print("\nafter %d boots the image is exactly v2 — every intermediate"
+          "\ncrash left a resumable state, never a bricked device."
+          "\n(journal footprint: %d bytes)" % (boot, journal.size_bytes))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Synchronize a software-distribution mirror with per-file in-place deltas.
+
+Models a 1998-style FTP mirror (the paper's GNU/BSD corpus) updating from
+release N to release N+1: every changed file is delta-compressed,
+post-processed for in-place reconstruction, and "transmitted"; the mirror
+rebuilds each file in the storage the old one occupies.  The summary
+compares total bytes moved against a full re-download.
+
+Run:  python examples/mirror_sync.py
+"""
+
+import random
+
+import repro
+from repro.analysis.tables import format_bytes, format_seconds, render_table
+from repro.delta import FORMAT_INPLACE, encode_delta, version_checksum
+from repro.device import get_channel
+from repro.workloads import Corpus
+
+
+def main() -> None:
+    corpus = Corpus(seed=51, packages=6, releases=2, scale=0.6)
+    channel = get_channel("modem-56k")
+    print("mirror holds release r0 of %d packages (%d files)"
+          % (len(corpus.specs), len(corpus.releases[0])))
+
+    total_old = total_new = total_delta = 0
+    evictions = cycles = 0
+    per_kind = {}
+    for pair in corpus.pairs():
+        # Server side: diff, convert, serialize.
+        result = repro.diff_in_place(pair.reference, pair.version,
+                                     policy="local-min")
+        payload = encode_delta(result.script, FORMAT_INPLACE,
+                               version_crc32=version_checksum(pair.version))
+        # Mirror side: rebuild the file where it sits.
+        buf = bytearray(pair.reference)
+        repro.patch_in_place(buf, payload)
+        assert bytes(buf) == pair.version, pair.name
+
+        total_old += len(pair.reference)
+        total_new += len(pair.version)
+        total_delta += len(payload)
+        evictions += result.report.evicted_count
+        cycles += result.report.cycles_found
+        kind = per_kind.setdefault(pair.kind, [0, 0])
+        kind[0] += len(payload)
+        kind[1] += len(pair.version)
+
+    rows = [["file kind", "delta bytes", "version bytes", "ratio"]]
+    for kind, (delta_bytes, version_bytes) in sorted(per_kind.items()):
+        rows.append([kind, format_bytes(delta_bytes),
+                     format_bytes(version_bytes),
+                     "%.1f%%" % (100.0 * delta_bytes / version_bytes)])
+    print()
+    print(render_table(rows))
+
+    factor = total_new / total_delta
+    print("\nfull download:  %s  (%s over a 56k modem)"
+          % (format_bytes(total_new),
+             format_seconds(channel.transfer_time(total_new))))
+    print("delta sync:     %s  (%s)  — %.1fx less data"
+          % (format_bytes(total_delta),
+             format_seconds(channel.transfer_time(total_delta)), factor))
+    print("conversion:     %d CRWI cycles broken, %d copies evicted"
+          % (cycles, evictions))
+    print("\nevery file was rebuilt in place: the mirror never needed "
+          "space for two copies.")
+
+
+if __name__ == "__main__":
+    main()

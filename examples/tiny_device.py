@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Update a device whose RAM is smaller than the delta file itself.
+
+Combines the two extensions built on top of the paper's algorithm:
+
+* **streaming** — the delta is consumed codeword-by-codeword off the
+  wire, so it never sits in RAM;
+* **bounded scratch** — instead of inflating the delta with the data of
+  cycle-breaking copies, a little device scratch carries them across
+  the conflicting writes (spill/fill commands).
+
+The sweep shows payload size falling as the server is told about the
+device's scratch, while the device's peak RAM stays tiny throughout.
+
+Run:  python examples/tiny_device.py
+"""
+
+import random
+
+from repro.analysis.tables import format_bytes, render_table
+from repro.device import ConstrainedDevice, UpdateServer, get_channel, run_update
+from repro.workloads import MutationProfile, mutate
+from repro.workloads.sources import make_binary_blob
+
+
+def main() -> None:
+    # Firmware with heavy internal restructuring: lots of moved blocks,
+    # so the CRWI digraph is cycle-rich and evictions are expensive.
+    rng = random.Random(3)
+    churny = MutationProfile(
+        edits_per_kb=1.0, structural_max_edit=600, max_edit=600,
+        weights={"insert": 0.15, "delete": 0.10, "replace": 0.15,
+                 "move": 0.40, "duplicate": 0.05, "swap": 0.15},
+    )
+    v1 = make_binary_blob(rng, 96_000)
+    v2 = mutate(v1, rng, churny)
+    channel = get_channel("cellular-9.6k")
+
+    rows = [["scratch budget", "payload", "transfer", "device peak RAM", "result"]]
+    for scratch in (0, 512, 2048, 8192):
+        server = UpdateServer(scratch_budget=scratch)
+        server.publish("fw", v1)
+        server.publish("fw", v2)
+        # 6 KiB of RAM total: far below both image (96 KB) and payload.
+        device = ConstrainedDevice(v1, ram=6 * 1024, copy_window=2048)
+        outcome = run_update(server, device, channel, "fw", have=0,
+                             strategy="in-place-stream")
+        rows.append([
+            format_bytes(scratch),
+            format_bytes(outcome.payload_bytes),
+            "%.1f s" % outcome.transfer_seconds,
+            format_bytes(device.ram.peak),
+            "updated" if outcome.succeeded else outcome.failure.split(":")[0],
+        ])
+        if outcome.succeeded:
+            assert device.image == v2
+    print("firmware: %s -> %s over %s" % (
+        format_bytes(len(v1)), format_bytes(len(v2)), channel.name))
+    print()
+    print(render_table(rows))
+    print(
+        "\nWith zero scratch (the paper's algorithm) every broken cycle"
+        "\ninlines its data into the payload; a few KiB of declared scratch"
+        "\nshrinks the payload toward the plain-delta size, and streaming"
+        "\nkeeps the device's peak RAM fixed either way.  Over-declaring"
+        "\nscratch backfires: the last row promises more scratch than the"
+        "\n6 KiB device has, and the update is refused up front."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""Statistical support for the experiments: intervals, fits, comparisons.
+
+The paper reports point estimates ("15.3%", "56%"); a reproduction on a
+*synthetic* corpus owes its reader uncertainty estimates, since the
+corpus seed is one draw from a distribution.  This module provides the
+three tools the benches use:
+
+* :func:`bootstrap_ci` — percentile-bootstrap confidence intervals for
+  ratio-of-totals statistics (the corpus compression percentages are
+  ratios of sums, so per-file resampling is the right model);
+* :func:`fit_power_law` — log-log least-squares exponent fits, used to
+  confirm the Figure 3 construction's edge count grows quadratically in
+  the command count while staying linear in the file length;
+* :func:`paired_sign_test` — a distribution-free check that one policy
+  beats another across corpus files more often than chance explains
+  (the local-min vs constant comparison).
+
+numpy supplies the array arithmetic; scipy.stats the regression and the
+binomial tail.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as sps
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return "%.2f [%.2f, %.2f] @%.0f%%" % (
+            self.estimate, self.low, self.high, 100 * self.confidence,
+        )
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(
+    numerators: Sequence[float],
+    denominators: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2_000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap CI for ``sum(numerators) / sum(denominators)``.
+
+    Resamples (numerator, denominator) *pairs* with replacement, which
+    models "had the corpus contained different files drawn from the same
+    population".  Deterministic given ``seed``.
+    """
+    if len(numerators) != len(denominators) or not numerators:
+        raise ValueError("need equal, non-empty numerator/denominator lists")
+    num = np.asarray(numerators, dtype=float)
+    den = np.asarray(denominators, dtype=float)
+    if den.sum() == 0:
+        raise ValueError("denominators sum to zero")
+    estimate = float(num.sum() / den.sum())
+
+    rng = np.random.default_rng(seed)
+    n = len(num)
+    indices = rng.integers(0, n, size=(resamples, n))
+    resampled_num = num[indices].sum(axis=1)
+    resampled_den = den[indices].sum(axis=1)
+    valid = resampled_den > 0
+    ratios = resampled_num[valid] / resampled_den[valid]
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(ratios, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(estimate, float(low), float(high), confidence)
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ≈ scale * x**exponent`` fitted in log-log space."""
+
+    exponent: float
+    scale: float
+    r_squared: float
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Least-squares exponent of ``y`` against ``x`` on log-log axes.
+
+    Requires strictly positive data (edge counts, file lengths are).
+    ``r_squared`` near 1 means the power law explains the scaling.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if len(xa) < 2:
+        raise ValueError("need at least two points to fit")
+    if (xa <= 0).any() or (ya <= 0).any():
+        raise ValueError("power-law fits need strictly positive data")
+    result = sps.linregress(np.log(xa), np.log(ya))
+    return PowerLawFit(
+        exponent=float(result.slope),
+        scale=float(np.exp(result.intercept)),
+        r_squared=float(result.rvalue ** 2),
+    )
+
+
+@dataclass(frozen=True)
+class SignTestResult:
+    """Outcome of a paired sign test."""
+
+    wins: int
+    losses: int
+    ties: int
+    p_value: float
+
+    @property
+    def n(self) -> int:
+        """Decisive (non-tied) pairs."""
+        return self.wins + self.losses
+
+
+def paired_sign_test(a: Sequence[float], b: Sequence[float]) -> SignTestResult:
+    """Sign test for ``a_i < b_i`` (a "wins" when strictly smaller).
+
+    Two-sided p-value from the binomial distribution under the null
+    hypothesis that wins and losses are equally likely.  Ties are
+    discarded, the standard treatment.
+    """
+    if len(a) != len(b) or not a:
+        raise ValueError("need equal, non-empty paired samples")
+    wins = sum(1 for x, y in zip(a, b) if x < y)
+    losses = sum(1 for x, y in zip(a, b) if x > y)
+    ties = len(a) - wins - losses
+    n = wins + losses
+    if n == 0:
+        return SignTestResult(wins, losses, ties, 1.0)
+    p_value = float(sps.binomtest(min(wins, losses), n, 0.5).pvalue)
+    return SignTestResult(wins, losses, ties, p_value)

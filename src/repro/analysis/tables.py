@@ -1,0 +1,67 @@
+"""Plain-text table rendering for bench and CLI output.
+
+The benches print their reproduced tables in the same row layout as the
+paper so paper-vs-measured comparison is a side-by-side read.  No
+third-party table library: alignment is computed from cell widths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(rows: Sequence[Sequence[str]], *, indent: str = "  ") -> str:
+    """Align ``rows`` (first row is the header) into a text table."""
+    if not rows:
+        return ""
+    normalized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    columns = max(len(row) for row in normalized)
+    for row in normalized:
+        row.extend([""] * (columns - len(row)))
+    widths = [
+        max(len(row[c]) for row in normalized) for c in range(columns)
+    ]
+    lines: List[str] = []
+    for i, row in enumerate(normalized):
+        cells = [
+            row[c].ljust(widths[c]) if c == 0 else row[c].rjust(widths[c])
+            for c in range(columns)
+        ]
+        lines.append(indent + "  ".join(cells).rstrip())
+        if i == 0:
+            lines.append(indent + "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_kv(title: str, pairs: Iterable[Sequence[str]], *, indent: str = "  ") -> str:
+    """A titled key/value block, for bench summaries."""
+    lines = [title]
+    items = [(str(k), str(v)) for k, v in pairs]
+    if items:
+        width = max(len(k) for k, _ in items)
+        for key, value in items:
+            lines.append("%s%s  %s" % (indent, key.ljust(width), value))
+    return "\n".join(lines)
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return "%d B" % int(value)
+            return "%.1f %s" % (value, unit)
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(s: float) -> str:
+    """Human-readable duration."""
+    if s < 1e-3:
+        return "%.0f µs" % (s * 1e6)
+    if s < 1.0:
+        return "%.1f ms" % (s * 1e3)
+    if s < 120.0:
+        return "%.2f s" % s
+    return "%.1f min" % (s / 60.0)

@@ -1,0 +1,82 @@
+"""Timing helpers for the runtime experiments.
+
+The section 7 runtime claims are *ratios* (conversion time over
+compression time) and *distributions* (exceeded on 0.1% of inputs, never
+more than twice).  These helpers time callables with best-of-N
+repetition to damp scheduler noise and compute the summary statistics
+the benches report.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@contextmanager
+def stopwatch() -> Iterator[List[float]]:
+    """Context manager yielding a one-slot list filled with elapsed seconds."""
+    box: List[float] = [0.0]
+    started = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - started
+
+
+def time_call(fn: Callable[[], T], *, repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds for ``fn()``."""
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@dataclass
+class RatioStats:
+    """Distribution summary for a set of per-input timing ratios."""
+
+    count: int
+    mean: float
+    median: float
+    maximum: float
+    #: Fraction of inputs whose ratio exceeded 1.0 (conversion slower
+    #: than compression) — the paper reports 0.1%.
+    fraction_over_one: float
+
+
+def ratio_stats(ratios: Sequence[float]) -> RatioStats:
+    """Summarize timing ratios the way section 7 reports them."""
+    if not ratios:
+        raise ValueError("no ratios to summarize")
+    ordered = sorted(ratios)
+    n = len(ordered)
+    median = ordered[n // 2] if n % 2 else 0.5 * (ordered[n // 2 - 1] + ordered[n // 2])
+    return RatioStats(
+        count=n,
+        mean=sum(ordered) / n,
+        median=median,
+        maximum=ordered[-1],
+        fraction_over_one=sum(1 for r in ordered if r > 1.0) / n,
+    )
+
+
+def weighted_time_ratio(numerators: Sequence[float], denominators: Sequence[float]) -> float:
+    """Total-time ratio: sum of numerators over sum of denominators.
+
+    The paper's headline "56% of the total time" is a ratio of totals,
+    not a mean of per-input ratios; both are reported by the bench.
+    """
+    total_num = sum(numerators)
+    total_den = sum(denominators)
+    if total_den == 0:
+        raise ValueError("denominator times sum to zero")
+    return total_num / total_den

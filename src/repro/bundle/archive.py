@@ -1,0 +1,188 @@
+"""Bundle wire format: one payload upgrading a whole package tree.
+
+Layout (all integers LEB128 varints, strings varint-length + UTF-8)::
+
+    magic "IPB1" | package | from_release | to_release | entry_count
+    entry*:
+        op u8 | path
+        op DELTA : payload_len | in-place delta file bytes
+        op ADD   : size | raw content | crc32 u32le
+        op RENAME: from_path | optional payload_len | delta bytes (0 = exact)
+        op REMOVE: (nothing)
+    crc32 u32le of everything before it
+
+Per-file deltas embed the single-file format of
+:mod:`repro.delta.encode` unchanged (with its own header and checksum),
+so a bundle is a container, not a new delta codec.  A rename may carry
+a delta when the moved file also changed; ``payload_len == 0`` means
+the content moved exactly.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..delta.varint import decode_varint, encode_varint
+from ..exceptions import DeltaFormatError
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+BUNDLE_MAGIC = b"IPB1"
+
+OP_DELTA = 0x01
+OP_ADD = 0x02
+OP_REMOVE = 0x03
+OP_RENAME = 0x04
+
+_OP_NAMES = {OP_DELTA: "delta", OP_ADD: "add", OP_REMOVE: "remove",
+             OP_RENAME: "rename"}
+
+
+@dataclass(frozen=True)
+class BundleEntry:
+    """One directive of a bundle."""
+
+    op: int
+    path: str
+    #: Serialized single-file delta (DELTA, optionally RENAME), or b"".
+    payload: bytes = b""
+    #: Raw content (ADD only), or b"".
+    content: bytes = b""
+    #: Source path (RENAME only).
+    from_path: Optional[str] = None
+
+    @property
+    def op_name(self) -> str:
+        """Human-readable directive name."""
+        return _OP_NAMES.get(self.op, "op-0x%02x" % self.op)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Approximate transfer cost of this entry."""
+        return len(self.payload) + len(self.content) + len(self.path) + 2
+
+
+@dataclass
+class Bundle:
+    """A parsed (or to-be-serialized) package upgrade."""
+
+    package: str
+    from_release: int
+    to_release: int
+    entries: List[BundleEntry] = field(default_factory=list)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total size of embedded payloads and contents."""
+        return sum(e.wire_bytes for e in self.entries)
+
+    def summary(self) -> dict:
+        """Directive counts, for reports and the CLI."""
+        counts = {"delta": 0, "add": 0, "remove": 0, "rename": 0}
+        for entry in self.entries:
+            counts[entry.op_name] += 1
+        return counts
+
+
+def _put_str(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    out += encode_varint(len(raw))
+    out += raw
+
+
+def _get_str(data: Buffer, pos: int) -> Tuple[str, int]:
+    length, pos = decode_varint(data, pos)
+    if pos + length > len(data):
+        raise DeltaFormatError("truncated string in bundle at byte %d" % pos)
+    return bytes(data[pos:pos + length]).decode("utf-8"), pos + length
+
+
+def encode_bundle(bundle: Bundle) -> bytes:
+    """Serialize a bundle to its wire format."""
+    out = bytearray()
+    out += BUNDLE_MAGIC
+    _put_str(out, bundle.package)
+    out += encode_varint(bundle.from_release)
+    out += encode_varint(bundle.to_release)
+    out += encode_varint(len(bundle.entries))
+    for entry in bundle.entries:
+        out.append(entry.op)
+        _put_str(out, entry.path)
+        if entry.op == OP_DELTA:
+            out += encode_varint(len(entry.payload))
+            out += entry.payload
+        elif entry.op == OP_ADD:
+            out += encode_varint(len(entry.content))
+            out += entry.content
+            out += (zlib.crc32(entry.content) & 0xFFFFFFFF).to_bytes(4, "little")
+        elif entry.op == OP_RENAME:
+            _put_str(out, entry.from_path or "")
+            out += encode_varint(len(entry.payload))
+            out += entry.payload
+        elif entry.op == OP_REMOVE:
+            pass
+        else:
+            raise DeltaFormatError("unknown bundle op 0x%02x" % entry.op)
+    out += (zlib.crc32(out) & 0xFFFFFFFF).to_bytes(4, "little")
+    return bytes(out)
+
+
+def decode_bundle(data: Buffer) -> Bundle:
+    """Parse a bundle, verifying its trailing checksum."""
+    if len(data) < len(BUNDLE_MAGIC) + 4 or bytes(data[:4]) != BUNDLE_MAGIC:
+        raise DeltaFormatError("not a bundle (bad magic)")
+    body, trailer = data[:-4], data[-4:]
+    expected = int.from_bytes(trailer, "little")
+    if zlib.crc32(body) & 0xFFFFFFFF != expected:
+        raise DeltaFormatError("bundle checksum mismatch")
+
+    pos = 4
+    package, pos = _get_str(body, pos)
+    from_release, pos = decode_varint(body, pos)
+    to_release, pos = decode_varint(body, pos)
+    count, pos = decode_varint(body, pos)
+    bundle = Bundle(package, from_release, to_release)
+    for _ in range(count):
+        if pos >= len(body):
+            raise DeltaFormatError("bundle truncated in entry list")
+        op = body[pos]
+        pos += 1
+        path, pos = _get_str(body, pos)
+        if op == OP_DELTA:
+            size, pos = decode_varint(body, pos)
+            if pos + size > len(body):
+                raise DeltaFormatError("bundle delta payload truncated")
+            bundle.entries.append(
+                BundleEntry(op, path, payload=bytes(body[pos:pos + size]))
+            )
+            pos += size
+        elif op == OP_ADD:
+            size, pos = decode_varint(body, pos)
+            if pos + size + 4 > len(body):
+                raise DeltaFormatError("bundle add content truncated")
+            content = bytes(body[pos:pos + size])
+            pos += size
+            crc = int.from_bytes(body[pos:pos + 4], "little")
+            pos += 4
+            if zlib.crc32(content) & 0xFFFFFFFF != crc:
+                raise DeltaFormatError("bundle add content corrupt: %s" % path)
+            bundle.entries.append(BundleEntry(op, path, content=content))
+        elif op == OP_RENAME:
+            from_path, pos = _get_str(body, pos)
+            size, pos = decode_varint(body, pos)
+            if pos + size > len(body):
+                raise DeltaFormatError("bundle rename payload truncated")
+            bundle.entries.append(BundleEntry(
+                op, path, payload=bytes(body[pos:pos + size]),
+                from_path=from_path,
+            ))
+            pos += size
+        elif op == OP_REMOVE:
+            bundle.entries.append(BundleEntry(op, path))
+        else:
+            raise DeltaFormatError("unknown bundle op 0x%02x" % op)
+    if pos != len(body):
+        raise DeltaFormatError("trailing garbage in bundle")
+    return bundle

@@ -1,0 +1,374 @@
+"""Command-line interface: ``ipdelta``.
+
+Subcommands mirror the library's pipeline:
+
+* ``diff``     — compute a delta between two files (optionally in-place safe)
+* ``apply``    — rebuild a version from a reference and a delta file
+* ``convert``  — post-process an existing delta file for in-place use
+* ``compose``  — fold a chain of sequential delta files into one
+* ``inspect``  — decode a delta file and report its commands and safety
+* ``tree-diff``  — bundle a whole directory upgrade (per-file in-place deltas)
+* ``tree-patch`` — apply an upgrade bundle to a directory, in place
+* ``corpus``   — materialize the synthetic benchmark corpus to a directory
+* ``report``   — regenerate the paper's headline evaluation in one shot
+
+Exit status is 0 on success, 1 on a library error (bad input files,
+unsafe delta, ...), 2 on usage errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import __version__, diff
+from .analysis.tables import format_bytes, render_kv, render_table
+from .core.apply import apply_delta, apply_in_place
+from .bundle import (
+    Manifest,
+    build_bundle,
+    decode_bundle,
+    encode_bundle,
+    upgrade_and_verify,
+)
+from .core.compose import compose_chain
+from .core.convert import make_in_place
+from .core.crwi import build_crwi_digraph
+from .core.optimize import optimize_script
+from .core.verify import count_wr_conflicts, is_in_place_safe, lint_in_place
+from .delta import ALGORITHMS
+from .delta.encode import (
+    FORMAT_INPLACE,
+    FORMAT_SEQUENTIAL,
+    decode_delta,
+    encode_delta,
+    version_checksum,
+)
+from .exceptions import ReproError
+from .workloads.corpus import Corpus
+
+
+def _read(path: str) -> bytes:
+    return Path(path).read_bytes()
+
+
+def _write(path: str, data: bytes) -> None:
+    Path(path).write_bytes(data)
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    reference = _read(args.reference)
+    version = _read(args.version)
+    script = diff(reference, version, algorithm=args.algorithm)
+    if args.optimize:
+        script, _opt = optimize_script(script, reference,
+                                       with_offsets=args.in_place)
+    if args.in_place:
+        result = make_in_place(script, reference, policy=args.policy,
+                               scratch_budget=args.scratch)
+        payload = encode_delta(
+            result.script, FORMAT_INPLACE, version_crc32=version_checksum(version)
+        )
+        note = "in-place (%s), %d evictions" % (args.policy, result.report.evicted_count)
+    else:
+        payload = encode_delta(
+            script, FORMAT_SEQUENTIAL, version_crc32=version_checksum(version)
+        )
+        note = "sequential"
+    _write(args.output, payload)
+    ratio = 100.0 * len(payload) / max(1, len(version))
+    print(
+        "wrote %s: %s (%s; %.1f%% of version)"
+        % (args.output, format_bytes(len(payload)), note, ratio)
+    )
+    return 0
+
+
+def _cmd_apply(args: argparse.Namespace) -> int:
+    payload = _read(args.delta)
+    script, header = decode_delta(payload)
+    if args.in_place:
+        buf = bytearray(_read(args.reference))
+        apply_in_place(script, buf, strict=not args.unsafe)
+        output = bytes(buf)
+    else:
+        output = apply_delta(script, _read(args.reference))
+    expected = header.version_crc32
+    if expected and version_checksum(output) != expected:
+        print("error: reconstructed file fails its checksum", file=sys.stderr)
+        return 1
+    _write(args.output, output)
+    print("wrote %s (%s)" % (args.output, format_bytes(len(output))))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    payload = _read(args.delta)
+    script, header = decode_delta(payload)
+    reference = _read(args.reference)
+    result = make_in_place(script, reference, policy=args.policy,
+                           scratch_budget=args.scratch)
+    out = encode_delta(
+        result.script, FORMAT_INPLACE, version_crc32=header.version_crc32
+    )
+    _write(args.output, out)
+    report = result.report
+    print(
+        render_kv(
+            "converted %s -> %s" % (args.delta, args.output),
+            [
+                ("policy", report.policy),
+                ("copies", "%d -> %d" % (report.copies_in, report.copies_out)),
+                ("adds", "%d -> %d" % (report.adds_in, report.adds_out)),
+                ("cycles broken", report.cycles_found),
+                ("evictions spilled to scratch", report.spilled_count),
+                ("scratch required", format_bytes(report.scratch_used)),
+                ("eviction cost", format_bytes(report.eviction_cost)),
+                ("size", "%s -> %s" % (format_bytes(len(payload)), format_bytes(len(out)))),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_compose(args: argparse.Namespace) -> int:
+    scripts = []
+    crc = 0
+    for path in args.deltas:
+        script, header = decode_delta(_read(path))
+        scripts.append(script)
+        crc = header.version_crc32  # the chain's final version checksum
+    composed = compose_chain(scripts)
+    payload = encode_delta(composed, FORMAT_SEQUENTIAL, version_crc32=crc)
+    _write(args.output, payload)
+    print(
+        "composed %d deltas -> %s (%s, %d commands)"
+        % (len(scripts), args.output, format_bytes(len(payload)), len(composed))
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    payload = _read(args.delta)
+    script, header = decode_delta(payload)
+    stats = script.stats()
+    fmt_name = "sequential" if header.format == FORMAT_SEQUENTIAL else "in-place"
+    pairs = [
+        ("format", fmt_name),
+        ("version length", format_bytes(header.version_length)),
+        ("commands", stats["commands"]),
+        ("copies", stats["copies"]),
+        ("adds", stats["adds"]),
+        ("spills/fills", "%d/%d" % (stats["spills"], stats["fills"])),
+        ("scratch required", format_bytes(stats["scratch_length"])),
+        ("copied bytes", format_bytes(stats["copied_bytes"])),
+        ("added bytes", format_bytes(stats["added_bytes"])),
+        ("WR conflicts (current order)", count_wr_conflicts(script)),
+        ("in-place safe", "yes" if is_in_place_safe(script) else "NO"),
+    ]
+    graph = build_crwi_digraph(script)
+    pairs.append(("CRWI edges", "%d (Lemma 1 bound %d)" % (graph.edge_count, header.version_length)))
+    print(render_kv(args.delta, pairs))
+    problems = lint_in_place(script)
+    for problem in problems:
+        print("  warning: %s" % problem)
+    return 0
+
+
+def _read_tree(root: Path) -> dict:
+    """All regular files under ``root``, keyed by POSIX-style relative path."""
+    tree = {}
+    for path in sorted(root.rglob("*")):
+        if path.is_file():
+            tree[path.relative_to(root).as_posix()] = path.read_bytes()
+    return tree
+
+
+def _write_tree(root: Path, tree: dict) -> None:
+    # Write/refresh current files, then prune ones the upgrade removed.
+    for rel, data in tree.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(bytes(data))
+    for path in sorted(root.rglob("*"), reverse=True):
+        if path.is_file() and path.relative_to(root).as_posix() not in tree:
+            path.unlink()
+        elif path.is_dir() and not any(path.iterdir()):
+            path.rmdir()
+
+
+def _cmd_tree_diff(args: argparse.Namespace) -> int:
+    old_tree = _read_tree(Path(args.old))
+    new_tree = _read_tree(Path(args.new))
+    bundle = build_bundle(
+        args.package, args.from_release, args.to_release, old_tree, new_tree,
+        algorithm=args.algorithm, policy=args.policy,
+        scratch_budget=args.scratch,
+    )
+    payload = encode_bundle(bundle)
+    _write(args.output, payload)
+    counts = bundle.summary()
+    new_total = sum(len(v) for v in new_tree.values())
+    print(
+        "wrote %s: %s for %d files (%s of tree data; "
+        "%d delta, %d add, %d rename, %d remove)"
+        % (args.output, format_bytes(len(payload)), len(new_tree),
+           "%.1f%%" % (100.0 * len(payload) / max(1, new_total)),
+           counts["delta"], counts["add"], counts["rename"], counts["remove"])
+    )
+    return 0
+
+
+def _cmd_tree_patch(args: argparse.Namespace) -> int:
+    root = Path(args.tree)
+    tree = _read_tree(root)
+    bundle = decode_bundle(_read(args.bundle))
+    from .bundle import apply_bundle
+
+    apply_bundle(tree, bundle)
+    _write_tree(root, tree)
+    print(
+        "upgraded %s to %s release %d (%d files)"
+        % (args.tree, bundle.package, bundle.to_release, len(tree))
+    )
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    corpus = Corpus(
+        seed=args.seed, packages=args.packages, releases=args.releases,
+        scale=args.scale,
+    )
+    root = Path(args.output)
+    for r, release in enumerate(corpus.releases):
+        for (package, path), data in release.items():
+            target = root / ("r%d" % r) / package / path
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(data)
+    rows = [["release", "files", "bytes"]]
+    for r, release in enumerate(corpus.releases):
+        rows.append(
+            ["r%d" % r, str(len(release)), format_bytes(sum(map(len, release.values())))]
+        )
+    print(render_table(rows))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import generate_report
+
+    report = generate_report(scale=args.scale, packages=args.packages,
+                             releases=args.releases, seed=args.seed)
+    print(report.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``ipdelta`` argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="ipdelta",
+        description="Delta compression with in-place reconstruction "
+        "(Burns & Long, PODC 1998).",
+    )
+    parser.add_argument("--version", action="version", version="ipdelta %s" % __version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("diff", help="compute a delta between two files")
+    p.add_argument("reference")
+    p.add_argument("version")
+    p.add_argument("output")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="correcting")
+    p.add_argument("--in-place", action="store_true",
+                   help="emit an in-place reconstructible delta")
+    p.add_argument("--policy", default="local-min",
+                   choices=["constant", "local-min", "max-out-degree",
+                            "optimal", "greedy-global"])
+    p.add_argument("--scratch", type=int, default=0, metavar="BYTES",
+                   help="device scratch budget: evictions route through "
+                        "scratch instead of inlined adds (default 0)")
+    p.add_argument("--optimize", action="store_true",
+                   help="run the codeword-size optimizer before encoding")
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser("apply", help="rebuild a version from reference + delta")
+    p.add_argument("reference")
+    p.add_argument("delta")
+    p.add_argument("output")
+    p.add_argument("--in-place", action="store_true",
+                   help="apply through the in-place engine")
+    p.add_argument("--unsafe", action="store_true",
+                   help="skip the write-before-read safety check")
+    p.set_defaults(func=_cmd_apply)
+
+    p = sub.add_parser("convert", help="make an existing delta in-place safe")
+    p.add_argument("reference")
+    p.add_argument("delta")
+    p.add_argument("output")
+    p.add_argument("--policy", default="local-min",
+                   choices=["constant", "local-min", "max-out-degree",
+                            "optimal", "greedy-global"])
+    p.add_argument("--scratch", type=int, default=0, metavar="BYTES",
+                   help="device scratch budget in bytes (default 0)")
+    p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser("compose", help="fold sequential delta files into one")
+    p.add_argument("deltas", nargs="+", help="delta files, oldest first")
+    p.add_argument("output")
+    p.set_defaults(func=_cmd_compose)
+
+    p = sub.add_parser("inspect", help="describe a delta file")
+    p.add_argument("delta")
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("tree-diff", help="bundle a whole directory upgrade")
+    p.add_argument("old")
+    p.add_argument("new")
+    p.add_argument("output")
+    p.add_argument("--package", default="package")
+    p.add_argument("--from-release", type=int, default=0)
+    p.add_argument("--to-release", type=int, default=1)
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="correcting")
+    p.add_argument("--policy", default="local-min",
+                   choices=["constant", "local-min", "max-out-degree",
+                            "optimal", "greedy-global"])
+    p.add_argument("--scratch", type=int, default=0, metavar="BYTES")
+    p.set_defaults(func=_cmd_tree_diff)
+
+    p = sub.add_parser("tree-patch", help="apply an upgrade bundle to a directory")
+    p.add_argument("tree")
+    p.add_argument("bundle")
+    p.set_defaults(func=_cmd_tree_patch)
+
+    p = sub.add_parser("corpus", help="materialize the synthetic benchmark corpus")
+    p.add_argument("output")
+    p.add_argument("--seed", type=int, default=19980601)
+    p.add_argument("--packages", type=int, default=12)
+    p.add_argument("--releases", type=int, default=3)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=_cmd_corpus)
+
+    p = sub.add_parser("report", help="regenerate the paper's evaluation")
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--packages", type=int, default=8)
+    p.add_argument("--releases", type=int, default=2)
+    p.add_argument("--seed", type=int, default=19980601)
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``ipdelta`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""Reconstruction engines: two-space and in-place application.
+
+Two engines execute a :class:`~repro.core.commands.DeltaScript`:
+
+* :func:`apply_delta` is the conventional reconstructor.  It reads from a
+  reference buffer and writes a *separate* version buffer, so command
+  order is irrelevant.  This models a host with scratch space.
+
+* :func:`apply_in_place` models the paper's constrained device.  It
+  executes the script against a single buffer that initially holds the
+  reference and finally holds the version, reading and writing the same
+  storage.  Commands run *serially in script order*; a copy whose read and
+  write intervals overlap is performed directionally (left-to-right when
+  ``src >= dst``, right-to-left otherwise — paper, section 4.1), optionally
+  through a bounded staging buffer to model a device with a small RAM
+  window.
+
+``apply_in_place`` on an unconverted script silently produces garbage on
+inputs with write-before-read conflicts — exactly the failure mode the
+paper opens with.  Pass ``strict=True`` to raise
+:class:`~repro.exceptions.WriteBeforeReadError` at the first conflicting
+command instead; the tests and benches use both modes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..exceptions import DeltaRangeError, WriteBeforeReadError
+from .commands import AddCommand, CopyCommand, DeltaScript, FillCommand, SpillCommand
+from .intervals import DynamicIntervalSet
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+def apply_delta(script: DeltaScript, reference: Buffer) -> bytes:
+    """Materialize the version file in fresh storage (two-space apply).
+
+    The script's write intervals must be disjoint and cover the version;
+    call :meth:`DeltaScript.validate` first if the script is untrusted.
+    Spill/fill commands are honoured so scratch-using in-place scripts
+    also apply two-space (useful for verification on the server side).
+    """
+    ref = memoryview(reference) if not isinstance(reference, memoryview) else reference
+    out = bytearray(script.version_length)
+    scratch = bytearray(script.scratch_length)
+    for i, cmd in enumerate(script.commands):
+        if isinstance(cmd, CopyCommand):
+            end = cmd.src + cmd.length
+            if end > len(ref):
+                raise DeltaRangeError(
+                    "command %d reads [%d, %d) beyond reference of length %d"
+                    % (i, cmd.src, end, len(ref))
+                )
+            out[cmd.dst:cmd.dst + cmd.length] = ref[cmd.src:end]
+        elif isinstance(cmd, AddCommand):
+            out[cmd.dst:cmd.dst + cmd.length] = cmd.data
+        elif isinstance(cmd, SpillCommand):
+            end = cmd.src + cmd.length
+            if end > len(ref):
+                raise DeltaRangeError(
+                    "spill %d reads [%d, %d) beyond reference of length %d"
+                    % (i, cmd.src, end, len(ref))
+                )
+            scratch[cmd.scratch:cmd.scratch + cmd.length] = ref[cmd.src:end]
+        else:  # FillCommand
+            out[cmd.dst:cmd.dst + cmd.length] = \
+                scratch[cmd.scratch:cmd.scratch + cmd.length]
+    return bytes(out)
+
+
+def _directional_copy(buf: bytearray, src: int, dst: int, length: int, chunk: int) -> None:
+    """Copy ``length`` bytes inside ``buf`` from ``src`` to ``dst``.
+
+    Safe for overlapping ranges: copies left-to-right when ``src >= dst``
+    and right-to-left otherwise, moving a window of at most ``chunk``
+    bytes at a time (the paper's read/write buffer of any size).
+    """
+    if src == dst or length == 0:
+        return
+    if src >= dst:
+        done = 0
+        while done < length:
+            step = min(chunk, length - done)
+            buf[dst + done:dst + done + step] = buf[src + done:src + done + step]
+            done += step
+    else:
+        done = length
+        while done > 0:
+            step = min(chunk, done)
+            done -= step
+            buf[dst + done:dst + done + step] = buf[src + done:src + done + step]
+
+
+def apply_in_place(
+    script: DeltaScript,
+    buffer: bytearray,
+    *,
+    strict: bool = False,
+    chunk_size: int = 4096,
+) -> bytearray:
+    """Execute ``script`` against ``buffer``, transforming reference to version.
+
+    ``buffer`` enters holding the reference file and returns holding the
+    version file; it is resized when the version is longer or shorter than
+    the reference.  Commands execute serially in script order — the order
+    the in-place converter chose.
+
+    ``strict=True`` tracks written regions and raises
+    :class:`WriteBeforeReadError` the moment a copy reads a byte some
+    earlier command already wrote (a violation of Equation 2).  This is an
+    executable proof of in-place safety and is used throughout the tests.
+
+    ``chunk_size`` bounds the staging window for self-overlapping copies,
+    modelling a device that can only buffer a few KiB of data in RAM.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive, got %d" % chunk_size)
+    original_length = len(buffer)
+    needed = max(script.version_length, original_length)
+    if needed > len(buffer):
+        buffer.extend(b"\x00" * (needed - len(buffer)))
+
+    written: Optional[DynamicIntervalSet] = DynamicIntervalSet() if strict else None
+    scratch = bytearray(script.scratch_length)
+
+    def check_read(i: int, cmd) -> None:
+        end = cmd.src + cmd.length
+        if end > original_length:
+            raise DeltaRangeError(
+                "command %d reads [%d, %d) beyond reference of length %d"
+                % (i, cmd.src, end, original_length)
+            )
+        if written is not None:
+            clash = written.first_intersection(cmd.read_interval)
+            if clash is not None:
+                raise WriteBeforeReadError(
+                    "command %d reads [%d, %d] but bytes [%d, %d] were already "
+                    "written; script is not in-place safe"
+                    % (
+                        i,
+                        cmd.read_interval.start,
+                        cmd.read_interval.stop,
+                        clash.start,
+                        clash.stop,
+                    ),
+                    reader_index=i,
+                )
+
+    for i, cmd in enumerate(script.commands):
+        if isinstance(cmd, CopyCommand):
+            check_read(i, cmd)
+            _directional_copy(buffer, cmd.src, cmd.dst, cmd.length, chunk_size)
+            if written is not None:
+                written.add(cmd.write_interval)
+        elif isinstance(cmd, AddCommand):
+            buffer[cmd.dst:cmd.dst + cmd.length] = cmd.data
+            if written is not None:
+                written.add(cmd.write_interval)
+        elif isinstance(cmd, SpillCommand):
+            check_read(i, cmd)
+            scratch[cmd.scratch:cmd.scratch + cmd.length] = \
+                buffer[cmd.src:cmd.src + cmd.length]
+        else:  # FillCommand: reads only scratch, immune to buffer writes
+            buffer[cmd.dst:cmd.dst + cmd.length] = \
+                scratch[cmd.scratch:cmd.scratch + cmd.length]
+            if written is not None:
+                written.add(cmd.write_interval)
+
+    del buffer[script.version_length:]
+    return buffer
+
+
+def reconstruct(script: DeltaScript, reference: Buffer, *, in_place: bool = False) -> bytes:
+    """Convenience wrapper: rebuild the version from ``reference``.
+
+    ``in_place=False`` uses the two-space engine; ``in_place=True`` copies
+    the reference into a working buffer and runs the strict in-place
+    engine (so unsafe scripts raise rather than corrupt).
+    """
+    if not in_place:
+        return apply_delta(script, reference)
+    buf = bytearray(reference)
+    return bytes(apply_in_place(script, buf, strict=True))

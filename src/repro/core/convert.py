@@ -1,0 +1,292 @@
+"""The in-place conversion algorithm (paper, section 4).
+
+:func:`make_in_place` rewrites an arbitrary delta script into an
+equivalent script that reconstructs the version *in the storage the
+reference occupies*, following the paper's three techniques:
+
+1. all add commands move to the end of the script (adds never read the
+   reference, so they cannot be corrupted — only corrupting);
+2. copy commands are permuted into an order with no write-before-read
+   conflict, found by topologically sorting the CRWI digraph;
+3. copies trapped in digraph cycles are *evicted* — re-encoded as add
+   commands carrying the copied bytes, at a compression cost the
+   cycle-breaking policy tries to minimize.
+
+The converter needs the reference bytes only to materialize evicted
+copies; when a script converts without evictions, ``reference`` may be
+``None``.  The output always satisfies Equation 2 (checked by the tests
+via :mod:`repro.core.verify` and executed by the strict in-place
+applier).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from ..exceptions import ReproError
+from .commands import (
+    AddCommand,
+    Command,
+    CopyCommand,
+    DeltaScript,
+    FillCommand,
+    SpillCommand,
+)
+from .crwi import CRWIDigraph, build_crwi_digraph
+from .policies import (
+    CyclePolicy,
+    exact_minimum_evictions,
+    greedy_evictions,
+    make_policy,
+)
+from .toposort import (
+    ToposortResult,
+    cycle_breaking_toposort,
+    locality_toposort,
+    plain_toposort,
+)
+
+#: Policies resolved per-cycle inside the topological sort.
+PER_CYCLE_POLICIES = ("constant", "local-min", "max-out-degree")
+#: Strategies that pick the whole eviction set before sorting.
+WHOLE_GRAPH_POLICIES = ("optimal", "greedy-global")
+
+
+@dataclass
+class ConversionReport:
+    """Accounting for one in-place conversion.
+
+    The benches aggregate these to rebuild Table 1 (compression loss
+    decomposition) and the section 7 runtime and policy comparisons.
+    """
+
+    policy: str
+    copies_in: int = 0
+    adds_in: int = 0
+    evicted_count: int = 0
+    #: Literal bytes the evicted copies now carry in the delta.
+    evicted_bytes: int = 0
+    #: Compression cost per the paper's cost model, sum of (l - |f|) over
+    #: copy-to-add conversions plus the codeword overhead of spills.
+    eviction_cost: int = 0
+    #: Evictions rescued by the scratch buffer (spill/fill pairs).
+    spilled_count: int = 0
+    #: Bytes routed through the scratch buffer instead of the delta file.
+    spilled_bytes: int = 0
+    #: Scratch bytes the output script requires at apply time.
+    scratch_used: int = 0
+    crwi_vertices: int = 0
+    crwi_edges: int = 0
+    cycles_found: int = 0
+    total_cycle_length: int = 0
+    revisits: int = 0
+    #: Wall-clock seconds spent converting (digraph + sort + emit).
+    seconds: float = 0.0
+
+    @property
+    def copies_out(self) -> int:
+        """Copy commands surviving into the in-place script."""
+        return self.copies_in - self.evicted_count
+
+    @property
+    def adds_out(self) -> int:
+        """Add commands in the in-place script (originals + evictions)."""
+        return self.adds_in + self.evicted_count
+
+
+@dataclass
+class InPlaceResult:
+    """An in-place reconstructible script plus its conversion report."""
+
+    script: DeltaScript
+    report: ConversionReport
+
+
+def _resolve_evictions(
+    graph: CRWIDigraph,
+    policy: Union[str, CyclePolicy],
+    offset_encoding_size: int,
+    ordering: str = "dfs",
+) -> ToposortResult:
+    """Run the sort/eviction stage under the named or given policy.
+
+    ``ordering="locality"`` re-sorts the surviving copies with the
+    write-order-preferring Kahn pass (same eviction set, an order that
+    minimizes jumps across the version file — cheaper on erase-block
+    flash).
+    """
+    costs = graph.costs(offset_encoding_size)
+    if isinstance(policy, str) and policy in WHOLE_GRAPH_POLICIES:
+        if policy == "optimal":
+            evicted = exact_minimum_evictions(graph, costs)
+        else:
+            evicted = greedy_evictions(graph, costs)
+        result = ToposortResult(order=[], evicted=list(evicted))
+        if ordering != "locality":
+            result.order = plain_toposort(graph, excluding=evicted)
+    else:
+        cycle_policy = make_policy(policy, graph) if isinstance(policy, str) else policy
+        result = cycle_breaking_toposort(graph, cycle_policy, costs)
+    if ordering == "locality":
+        result.order = locality_toposort(graph, excluding=result.evicted)
+    elif ordering != "dfs":
+        raise ValueError("unknown ordering %r; use 'dfs' or 'locality'" % ordering)
+    return result
+
+
+def assemble_in_place(
+    graph: CRWIDigraph,
+    sort: ToposortResult,
+    adds: List[AddCommand],
+    reference: Optional[Union[bytes, bytearray, memoryview]],
+    *,
+    policy_name: str,
+    version_length: int,
+    offset_encoding_size: int = 4,
+    scratch_budget: int = 0,
+    started: Optional[float] = None,
+) -> InPlaceResult:
+    """Shared emission stage: evictions -> spills/adds, final command layout.
+
+    Used by both the post-processing path (:func:`make_in_place`) and
+    the integrated generator
+    (:class:`repro.core.integrated.InPlaceDeltaBuilder`), so the two
+    pipelines produce identical scripts and reports by construction.
+    """
+    if started is None:
+        started = time.perf_counter()
+    report = ConversionReport(
+        policy=policy_name,
+        copies_in=graph.vertex_count,
+        adds_in=len(adds),
+        crwi_vertices=graph.vertex_count,
+        crwi_edges=graph.edge_count,
+        cycles_found=sort.cycles_found,
+        total_cycle_length=sort.total_cycle_length,
+        revisits=sort.revisits,
+    )
+
+    # Evicted copies become spill/fill pairs while scratch lasts (largest
+    # first — each spilled byte is a byte the delta file does not carry),
+    # then adds.
+    spills: List[SpillCommand] = []
+    fills: List[FillCommand] = []
+    converted: List[AddCommand] = []
+    scratch_cursor = 0
+    # A spill/fill pair replaces one copy codeword with two, each with an
+    # extra scratch-offset field.
+    spill_overhead = 2 + 3 * offset_encoding_size
+    for v in sorted(sort.evicted, key=lambda v: -graph.vertices[v].length):
+        cmd = graph.vertices[v]
+        report.evicted_count += 1
+        report.evicted_bytes += cmd.length
+        if scratch_cursor + cmd.length <= scratch_budget:
+            spills.append(SpillCommand(cmd.src, scratch_cursor, cmd.length))
+            fills.append(FillCommand(scratch_cursor, cmd.dst, cmd.length))
+            scratch_cursor += cmd.length
+            report.spilled_count += 1
+            report.spilled_bytes += cmd.length
+            report.eviction_cost += spill_overhead
+        else:
+            if reference is None:
+                raise ReproError(
+                    "conversion requires a copy-to-add eviction (%d bytes, "
+                    "scratch exhausted) but no reference bytes were provided"
+                    % cmd.length
+                )
+            converted.append(cmd.to_add(reference))
+            report.eviction_cost += max(1, cmd.length - offset_encoding_size)
+    report.scratch_used = scratch_cursor
+
+    # Spills first (reads only — always safe up front), surviving copies
+    # in topological order, then fills and adds.
+    commands: List[Command] = list(spills)
+    commands.extend(graph.vertices[v] for v in sort.order)
+    commands.extend(sorted(fills + adds + converted, key=lambda a: a.dst))
+    out = DeltaScript(commands, version_length)
+    report.seconds = time.perf_counter() - started
+    return InPlaceResult(out, report)
+
+
+def make_in_place(
+    script: DeltaScript,
+    reference: Optional[Union[bytes, bytearray, memoryview]] = None,
+    *,
+    policy: Union[str, CyclePolicy] = "local-min",
+    offset_encoding_size: int = 4,
+    scratch_budget: int = 0,
+    ordering: str = "dfs",
+) -> InPlaceResult:
+    """Post-process ``script`` into an in-place reconstructible script.
+
+    ``policy`` selects the cycle-breaking strategy: ``"constant"`` and
+    ``"local-min"`` are the paper's per-cycle policies; ``"optimal"``
+    (exact, small inputs only) and ``"greedy-global"`` choose the whole
+    eviction set up front; any :class:`CyclePolicy` instance is used
+    per-cycle.  ``offset_encoding_size`` is ``|f|`` in the cost model —
+    the encoded size of the ``from`` field an eviction saves.
+
+    ``ordering`` selects among valid topological orders: ``"dfs"`` (the
+    sort's natural reverse postorder) or ``"locality"`` (stay as close to
+    write order as the conflict edges allow — fewer erase cycles on
+    block-managed flash, same safety guarantees).
+
+    ``scratch_budget`` enables the bounded-scratch extension: evicted
+    copies are routed through up to that many bytes of device scratch as
+    spill/fill pairs (costing only codewords) instead of being inlined
+    as adds (costing their whole data).  Budget is assigned to the
+    largest evictions first; the rest fall back to adds.  ``0`` is the
+    paper's pure no-scratch algorithm.
+
+    Returns the new script (spills first, copies in conflict-free order,
+    then fills and adds) and a :class:`ConversionReport`.  Raises
+    :class:`ReproError` when a copy-to-add eviction is needed but
+    ``reference`` was not provided (spill/fill needs no reference data).
+    """
+    if scratch_budget < 0:
+        raise ValueError("scratch_budget must be non-negative, got %d" % scratch_budget)
+    started = time.perf_counter()
+
+    # Step 1: partition into copies and adds.
+    adds: List[AddCommand] = [c for c in script.commands if isinstance(c, AddCommand)]
+
+    # Steps 2-3: sort copies by write offset and build the conflict digraph.
+    graph = build_crwi_digraph(script)
+
+    # Step 4: topological sort with cycle breaking.
+    sort = _resolve_evictions(graph, policy, offset_encoding_size, ordering)
+
+    # Steps 4-6 (continued): shared emission stage.
+    policy_name = policy if isinstance(policy, str) else getattr(policy, "name", "custom")
+    return assemble_in_place(
+        graph,
+        sort,
+        adds,
+        reference,
+        policy_name=policy_name,
+        version_length=script.version_length,
+        offset_encoding_size=offset_encoding_size,
+        scratch_budget=scratch_budget,
+        started=started,
+    )
+
+
+def compare_policies(
+    script: DeltaScript,
+    reference: Optional[Union[bytes, bytearray, memoryview]] = None,
+    policies: Sequence[Union[str, CyclePolicy]] = ("constant", "local-min"),
+    *,
+    offset_encoding_size: int = 4,
+) -> List[InPlaceResult]:
+    """Convert ``script`` once per policy; used by the policy benches."""
+    return [
+        make_in_place(
+            script,
+            reference,
+            policy=p,
+            offset_encoding_size=offset_encoding_size,
+        )
+        for p in policies
+    ]

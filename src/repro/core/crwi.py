@@ -1,0 +1,158 @@
+"""Conflicting read-write interval (CRWI) digraph construction.
+
+Section 4.2 of the paper encodes the potential write-before-read
+conflicts of a delta file in a digraph:
+
+* one vertex per copy command, with copies sorted by increasing write
+  offset (``t``);
+* a directed edge ``v_i -> v_j`` whenever copy ``c_i`` *reads* from the
+  interval copy ``c_j`` *writes* (``[f_i, f_i+l_i-1] ∩ [t_j, t_j+l_j-1]
+  ≠ ∅``), meaning ``c_i`` must execute before ``c_j``.
+
+Because the write intervals of a delta script are disjoint, the edge
+relation is computed with one binary search per copy command over the
+write intervals sorted by start offset — ``O(|C| log |C| + |E|)`` total,
+the bound of section 4.3.  The class records enough bookkeeping to check
+Lemma 1 (``|E| <= L_V``) empirically.
+
+Self-edges are excluded: a copy command does not conflict with itself;
+overlapping read/write intervals within one command are handled by
+directional copying at apply time (section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .commands import CopyCommand, DeltaScript
+from .intervals import Interval, IntervalIndex
+
+
+@dataclass
+class CRWIDigraph:
+    """The conflict digraph of one delta script's copy commands.
+
+    ``vertices[i]`` is the copy command for vertex ``i``; vertices are
+    numbered in increasing write-offset order, the paper's ``c_1 ... c_n``
+    convention.  ``successors[i]`` lists the vertices whose write interval
+    vertex ``i`` reads from (edges out of ``i``); ``predecessors`` is the
+    transposed relation.
+    """
+
+    vertices: List[CopyCommand] = field(default_factory=list)
+    successors: List[List[int]] = field(default_factory=list)
+    predecessors: List[List[int]] = field(default_factory=list)
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices (= number of copy commands)."""
+        return len(self.vertices)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of directed conflict edges."""
+        return sum(len(adj) for adj in self.successors)
+
+    def cost(self, vertex: int, offset_encoding_size: int = 4) -> int:
+        """Compression lost by evicting ``vertex`` (converting copy to add).
+
+        Replacing copy ``<f, t, l>`` with add ``<t, l> + data`` grows the
+        delta by ``l - |f|`` bytes, where ``|f|`` is the encoded size of
+        the dropped ``f`` field (section 5).  The cost is clamped at 1 so
+        every eviction has positive cost, as the optimization problem in
+        the paper requires.
+        """
+        return max(1, self.vertices[vertex].length - offset_encoding_size)
+
+    def costs(self, offset_encoding_size: int = 4) -> List[int]:
+        """Eviction costs for every vertex, in vertex order."""
+        return [self.cost(v, offset_encoding_size) for v in range(self.vertex_count)]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when the conflict edge ``u -> v`` exists."""
+        return v in self.successors[u]
+
+    def edges(self) -> Iterable[Tuple[int, int]]:
+        """Iterate all directed edges as ``(u, v)`` pairs."""
+        for u, adj in enumerate(self.successors):
+            for v in adj:
+                yield (u, v)
+
+    def without_vertices(self, removed: Iterable[int]) -> "CRWIDigraph":
+        """A copy of the digraph with ``removed`` vertices (and their edges) deleted.
+
+        Vertex numbering is compacted; used by the whole-graph eviction
+        solvers and by tests that check feedback-vertex-set properties.
+        """
+        dead = set(removed)
+        keep = [v for v in range(self.vertex_count) if v not in dead]
+        renumber = {old: new for new, old in enumerate(keep)}
+        sub = CRWIDigraph(
+            vertices=[self.vertices[v] for v in keep],
+            successors=[[] for _ in keep],
+            predecessors=[[] for _ in keep],
+        )
+        for old in keep:
+            for succ in self.successors[old]:
+                if succ in renumber:
+                    sub.successors[renumber[old]].append(renumber[succ])
+                    sub.predecessors[renumber[succ]].append(renumber[old])
+        return sub
+
+    def is_acyclic(self) -> bool:
+        """Kahn's-algorithm acyclicity check (independent of the DFS sorter)."""
+        indegree = [len(p) for p in self.predecessors]
+        frontier = [v for v, d in enumerate(indegree) if d == 0]
+        seen = 0
+        while frontier:
+            u = frontier.pop()
+            seen += 1
+            for v in self.successors[u]:
+                indegree[v] -= 1
+                if indegree[v] == 0:
+                    frontier.append(v)
+        return seen == self.vertex_count
+
+
+def build_crwi_digraph(script: DeltaScript) -> CRWIDigraph:
+    """Construct the CRWI digraph for the copy commands of ``script``.
+
+    Steps 2-3 of the paper's algorithm: sort copies by write offset, then
+    for each copy's read interval locate the write intervals it intersects
+    via binary search over the disjoint, sorted write intervals.
+    """
+    copies = sorted(
+        (c for c in script.commands if isinstance(c, CopyCommand)),
+        key=lambda c: c.dst,
+    )
+    graph = CRWIDigraph(
+        vertices=copies,
+        successors=[[] for _ in copies],
+        predecessors=[[] for _ in copies],
+    )
+    if not copies:
+        return graph
+    index = IntervalIndex([c.write_interval for c in copies])
+    for i, cmd in enumerate(copies):
+        for j in index.overlapping(cmd.read_interval):
+            if j != i:
+                graph.successors[i].append(j)
+                graph.predecessors[j].append(i)
+    return graph
+
+
+def lemma1_bound(script: DeltaScript) -> int:
+    """The Lemma 1 upper bound on CRWI edges: the version file length ``L_V``."""
+    return script.version_length
+
+
+def read_bytes_bound(script: DeltaScript) -> int:
+    """Tighter form of the Lemma 1 argument: the sum of all copy read lengths.
+
+    Each copy command ``i`` can conflict with at most ``l_i`` other
+    commands, and the read lengths sum to at most ``L_V``; this returns
+    the first quantity, which the tests check dominates the realized edge
+    count.
+    """
+    return sum(c.length for c in script.commands if isinstance(c, CopyCommand))

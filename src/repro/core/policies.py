@@ -1,0 +1,261 @@
+"""Cycle-breaking policies and whole-graph eviction solvers.
+
+When the CRWI digraph contains cycles, no execution order avoids every
+write-before-read conflict, and some copy commands must be *evicted* —
+converted to add commands at a compression cost of ``l - |f|`` bytes each
+(section 5).  Choosing the globally cheapest eviction set is the
+minimum-cost feedback vertex set problem restricted to CRWI digraphs,
+which the paper proves NP-hard; practical converters instead break cycles
+one at a time as the topological sort discovers them.
+
+This module provides:
+
+* the two per-cycle policies the paper evaluates —
+  :class:`ConstantTimePolicy` (evict the vertex at hand, O(1) per cycle)
+  and :class:`LocallyMinimumPolicy` (walk the cycle, evict its cheapest
+  vertex);
+* a :class:`MaxOutDegreePolicy` ablation that targets structurally
+  central vertices rather than cheap ones;
+* whole-graph solvers used by the benches to bound the policies' gap from
+  optimal: :func:`exact_minimum_evictions` (exponential branch-and-bound,
+  small graphs only) and :func:`greedy_evictions` (cost/degree-ratio
+  heuristic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
+
+from ..exceptions import CycleBreakError
+from .crwi import CRWIDigraph
+
+
+class CyclePolicy(Protocol):
+    """Strategy invoked by the sorter each time it discovers a cycle."""
+
+    #: Human-readable policy name, used in bench output.
+    name: str
+
+    def choose(self, cycle: Sequence[int], costs: Sequence[int]) -> int:
+        """Pick the vertex of ``cycle`` to evict.
+
+        ``cycle`` lists the vertices of the discovered cycle in path
+        order, ending at the vertex whose back edge closed the cycle;
+        ``costs`` is indexed by vertex id.  Must return a member of
+        ``cycle``.
+        """
+        ...
+
+
+class ConstantTimePolicy:
+    """Evict the vertex the sort is currently processing.
+
+    The paper's *constant time* policy: "picks the easiest vertex to
+    remove, based on the execution order of the topological sort" — the
+    last node in visit order before the cycle was detected, which is the
+    final element of the cycle path.  No work proportional to cycle
+    length is performed.
+    """
+
+    name = "constant"
+
+    def choose(self, cycle: Sequence[int], costs: Sequence[int]) -> int:
+        if not cycle:
+            raise CycleBreakError("cannot break an empty cycle")
+        return cycle[-1]
+
+
+class LocallyMinimumPolicy:
+    """Walk the cycle and evict its minimum-cost vertex.
+
+    The paper's *locally minimum* policy.  Work per cycle is proportional
+    to the cycle length; ties break toward the earliest vertex in the
+    cycle path so the choice is deterministic.
+    """
+
+    name = "local-min"
+
+    def choose(self, cycle: Sequence[int], costs: Sequence[int]) -> int:
+        if not cycle:
+            raise CycleBreakError("cannot break an empty cycle")
+        best = cycle[0]
+        for v in cycle[1:]:
+            if costs[v] < costs[best]:
+                best = v
+        return best
+
+
+class MaxOutDegreePolicy:
+    """Ablation: evict the cycle vertex with the most outgoing conflicts.
+
+    Not in the paper.  Intuition: a high-out-degree vertex participates in
+    many potential cycles, so evicting it may prevent future cycles even
+    when it is not the cheapest vertex on this one.  The Figure 2
+    adversary is exactly the case where this wins and locally-minimum
+    loses.  Requires the digraph at construction time.
+    """
+
+    name = "max-out-degree"
+
+    def __init__(self, graph: CRWIDigraph):
+        self._graph = graph
+
+    def choose(self, cycle: Sequence[int], costs: Sequence[int]) -> int:
+        if not cycle:
+            raise CycleBreakError("cannot break an empty cycle")
+        best = cycle[0]
+        best_deg = len(self._graph.successors[best])
+        for v in cycle[1:]:
+            deg = len(self._graph.successors[v])
+            if deg > best_deg or (deg == best_deg and costs[v] < costs[best]):
+                best, best_deg = v, deg
+        return best
+
+
+def make_policy(name: str, graph: Optional[CRWIDigraph] = None) -> CyclePolicy:
+    """Instantiate a per-cycle policy by name.
+
+    Accepts ``"constant"``, ``"local-min"`` (alias ``"locally-minimum"``)
+    and ``"max-out-degree"`` (which needs ``graph``).
+    """
+    key = name.lower().replace("_", "-")
+    if key == "constant":
+        return ConstantTimePolicy()
+    if key in ("local-min", "locally-minimum", "localmin"):
+        return LocallyMinimumPolicy()
+    if key == "max-out-degree":
+        if graph is None:
+            raise ValueError("max-out-degree policy requires the CRWI digraph")
+        return MaxOutDegreePolicy(graph)
+    raise ValueError("unknown cycle-breaking policy %r" % name)
+
+
+# ---------------------------------------------------------------------------
+# Whole-graph eviction solvers (feedback vertex set)
+# ---------------------------------------------------------------------------
+
+
+def _has_cycle_excluding(graph: CRWIDigraph, removed: Set[int]) -> Optional[List[int]]:
+    """A cycle in ``graph`` avoiding ``removed`` vertices, or ``None``.
+
+    Iterative colored DFS; returns the cycle as a vertex list in path
+    order when one exists.
+    """
+    color = [0] * graph.vertex_count  # 0 white, 1 gray, 2 black
+    parent: Dict[int, int] = {}
+    for root in range(graph.vertex_count):
+        if color[root] != 0 or root in removed:
+            continue
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        color[root] = 1
+        while stack:
+            u, edge_pos = stack[-1]
+            advanced = False
+            adj = graph.successors[u]
+            while edge_pos < len(adj):
+                v = adj[edge_pos]
+                edge_pos += 1
+                stack[-1] = (u, edge_pos)
+                if v in removed or color[v] == 2:
+                    continue
+                if color[v] == 1:
+                    cycle = [u]
+                    w = u
+                    while w != v:
+                        w = parent[w]
+                        cycle.append(w)
+                    cycle.reverse()
+                    return cycle
+                color[v] = 1
+                parent[v] = u
+                stack.append((v, 0))
+                advanced = True
+                break
+            if not advanced:
+                color[u] = 2
+                stack.pop()
+    return None
+
+
+def greedy_evictions(graph: CRWIDigraph, costs: Optional[Sequence[int]] = None) -> List[int]:
+    """Heuristic feedback vertex set: repeatedly break some remaining cycle.
+
+    Finds a cycle, evicts its vertex with the smallest cost-to-degree
+    ratio (cheap *and* structurally central), and repeats until acyclic.
+    A global heuristic the per-cycle policies can be compared against.
+    """
+    if costs is None:
+        costs = graph.costs()
+    removed: Set[int] = set()
+    while True:
+        cycle = _has_cycle_excluding(graph, removed)
+        if cycle is None:
+            return sorted(removed)
+        best = None
+        best_ratio = None
+        for v in cycle:
+            degree = 1 + sum(1 for s in graph.successors[v] if s not in removed)
+            ratio = costs[v] / degree
+            if best_ratio is None or ratio < best_ratio:
+                best, best_ratio = v, ratio
+        removed.add(best)
+
+
+def exact_minimum_evictions(
+    graph: CRWIDigraph,
+    costs: Optional[Sequence[int]] = None,
+    max_vertices: int = 64,
+) -> List[int]:
+    """Exact minimum-cost feedback vertex set by branch and bound.
+
+    The underlying problem is NP-hard (section 5), so this is exponential
+    and guarded by ``max_vertices``; it exists to *measure* the gap
+    between the practical policies and the true optimum on small inputs
+    (the comparison the paper could not make).
+
+    Branching rule: find any cycle in the remaining graph; some vertex of
+    it must be evicted, so branch on each cycle vertex.  Prunes branches
+    whose accumulated cost already meets the incumbent.
+    """
+    if graph.vertex_count > max_vertices:
+        raise ValueError(
+            "exact solver limited to %d vertices (got %d); the problem is NP-hard"
+            % (max_vertices, graph.vertex_count)
+        )
+    if costs is None:
+        costs = graph.costs()
+
+    best_set = list(range(graph.vertex_count))
+    best_cost = sum(costs)
+
+    # Seed the incumbent with the greedy solution for tighter pruning.
+    seed = greedy_evictions(graph, costs)
+    seed_cost = sum(costs[v] for v in seed)
+    if seed_cost < best_cost:
+        best_set, best_cost = seed, seed_cost
+
+    def search(removed: Set[int], cost_so_far: int) -> None:
+        nonlocal best_set, best_cost
+        if cost_so_far >= best_cost:
+            return
+        cycle = _has_cycle_excluding(graph, removed)
+        if cycle is None:
+            best_set, best_cost = sorted(removed), cost_so_far
+            return
+        for v in sorted(cycle, key=lambda w: costs[w]):
+            removed.add(v)
+            search(removed, cost_so_far + costs[v])
+            removed.remove(v)
+
+    search(set(), 0)
+    return best_set
+
+
+def eviction_cost(evicted: Sequence[int], costs: Sequence[int]) -> int:
+    """Total compression cost of an eviction set."""
+    return sum(costs[v] for v in evicted)
+
+
+def is_feedback_vertex_set(graph: CRWIDigraph, evicted: Sequence[int]) -> bool:
+    """True when removing ``evicted`` leaves ``graph`` acyclic."""
+    return _has_cycle_excluding(graph, set(evicted)) is None

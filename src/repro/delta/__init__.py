@@ -1,0 +1,78 @@
+"""Differencing algorithms and delta wire formats (the compression substrate)."""
+
+from .builder import ScriptBuilder
+from .correcting import correcting_delta
+from .encode import (
+    ALL_FORMATS,
+    FORMAT_INPLACE,
+    FORMAT_INPLACE_FIXED,
+    FORMAT_SEQUENTIAL,
+    FORMAT_SEQUENTIAL_FIXED,
+    DeltaHeader,
+    decode_delta,
+    encode_delta,
+    encoded_size,
+    version_checksum,
+)
+from .greedy import greedy_delta
+from .onepass import onepass_delta
+from .stream import apply_delta_stream, iter_delta_commands, read_header
+from .tichy import SuffixAutomaton, tichy_delta
+from .wrapper import INFLATE_RAM, SealedReader, is_sealed, seal, unseal
+from .rolling import (
+    DEFAULT_SEED_LENGTH,
+    FullSeedIndex,
+    RollingHash,
+    SeedTable,
+    hash_seed,
+    iter_seed_hashes,
+    match_length,
+    match_length_backward,
+)
+from .varint import decode_varint, encode_varint, varint_size
+
+#: Registry of differencing algorithms by name, used by benches and the CLI.
+ALGORITHMS = {
+    "greedy": greedy_delta,
+    "onepass": onepass_delta,
+    "correcting": correcting_delta,
+    "tichy": tichy_delta,
+}
+
+__all__ = [
+    "ALGORITHMS",
+    "ALL_FORMATS",
+    "apply_delta_stream",
+    "iter_delta_commands",
+    "read_header",
+    "DEFAULT_SEED_LENGTH",
+    "DeltaHeader",
+    "FORMAT_INPLACE",
+    "FORMAT_INPLACE_FIXED",
+    "FORMAT_SEQUENTIAL",
+    "FORMAT_SEQUENTIAL_FIXED",
+    "FullSeedIndex",
+    "RollingHash",
+    "ScriptBuilder",
+    "SeedTable",
+    "SealedReader",
+    "SuffixAutomaton",
+    "correcting_delta",
+    "decode_delta",
+    "decode_varint",
+    "encode_delta",
+    "encode_varint",
+    "encoded_size",
+    "greedy_delta",
+    "hash_seed",
+    "iter_seed_hashes",
+    "match_length",
+    "match_length_backward",
+    "onepass_delta",
+    "is_sealed",
+    "seal",
+    "tichy_delta",
+    "unseal",
+    "varint_size",
+    "version_checksum",
+]

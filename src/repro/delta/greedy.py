@@ -1,0 +1,78 @@
+"""Greedy differencing (Reichenberger-style, reference [11] of the paper).
+
+The greedy algorithm indexes *every* seed of the reference file, then
+walks the version file; at each offset it considers all reference
+positions sharing the current seed's fingerprint, extends each candidate
+match as far as it goes, and takes the longest.  Compression is the best
+of the three algorithms here, at the price of memory linear in the
+reference and quadratic worst-case time (bounded in this implementation
+by ``max_candidates`` per bucket).
+
+Matched strings are found at byte granularity with no alignment
+restriction, which is precisely the property (section 2) that lets delta
+compression work on arbitrary binaries.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core.commands import DeltaScript
+from .builder import ScriptBuilder
+from .rolling import (
+    DEFAULT_SEED_LENGTH,
+    FullSeedIndex,
+    RollingHash,
+    match_length,
+)
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+def greedy_delta(
+    reference: Buffer,
+    version: Buffer,
+    *,
+    seed_length: int = DEFAULT_SEED_LENGTH,
+    max_candidates: int = 64,
+) -> DeltaScript:
+    """Compute a delta script encoding ``version`` against ``reference``.
+
+    ``seed_length`` is the minimum match length worth encoding as a copy;
+    ``max_candidates`` caps how many same-fingerprint reference positions
+    are tried per version offset (pathological inputs such as long zero
+    runs otherwise degrade to quadratic time).
+    """
+    if seed_length <= 0:
+        raise ValueError("seed_length must be positive, got %d" % seed_length)
+    builder = ScriptBuilder(version)
+    n = len(version)
+    if n == 0:
+        return builder.finish()
+    if len(reference) < seed_length or n < seed_length:
+        return builder.finish()  # nothing can match; whole version is one add
+
+    index = FullSeedIndex(reference, seed_length, max_candidates)
+    roller = RollingHash(seed_length)
+    pos = 0
+    fingerprint = roller.reset(version, 0)
+    while pos + seed_length <= n:
+        best_len = 0
+        best_src = -1
+        for cand in index.candidates(fingerprint):
+            # Fingerprints can collide; match_length re-verifies bytes,
+            # so a bogus candidate just yields a short (or zero) match.
+            length = match_length(reference, cand, version, pos)
+            if length > best_len:
+                best_len = length
+                best_src = cand
+        if best_len >= seed_length:
+            builder.emit_copy(best_src, pos, best_len)
+            pos += best_len
+            if pos + seed_length <= n:
+                fingerprint = roller.reset(version, pos)
+            continue
+        if pos + seed_length < n:
+            fingerprint = roller.update(version[pos], version[pos + seed_length])
+        pos += 1
+    return builder.finish()

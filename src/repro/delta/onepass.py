@@ -1,0 +1,142 @@
+"""Linear-time, constant-space differencing (Burns-Long, reference [5]).
+
+The one-pass algorithm scans the reference and version files
+*simultaneously* with two cursors, hashing the seed under each cursor
+into a fixed-size, first-come-first-served table per file
+(:class:`~repro.delta.rolling.SeedTable`).  A match is detected in either
+direction:
+
+* the version seed matches a previously-hashed reference seed, or
+* the reference seed matches a previously-hashed version seed that still
+  lies in the pending (not yet encoded) region of the version.
+
+On a match the algorithm verifies the bytes (fingerprints may collide or
+slots may hold stale colliding seeds), extends the match forward as far
+as it runs, emits the pending literals and the copy, and jumps both
+cursors past the matched strings.  Memory is bounded by the two tables
+regardless of input size — the property that made [5] suitable for very
+large files — at the cost of missing some matches the greedy algorithm
+finds (notably transposed blocks), a trade the paper's section 2 notes
+is experimentally small.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core.commands import DeltaScript
+from .builder import ScriptBuilder
+from .rolling import DEFAULT_SEED_LENGTH, RollingHash, SeedTable, match_length
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+def onepass_delta(
+    reference: Buffer,
+    version: Buffer,
+    *,
+    seed_length: int = DEFAULT_SEED_LENGTH,
+    table_size: int = 1 << 16,
+) -> DeltaScript:
+    """Compute a delta script for ``version`` against ``reference``.
+
+    ``table_size`` fixes the size of both seed tables and therefore the
+    algorithm's memory footprint; smaller tables lose more matches on
+    large inputs but never affect correctness.
+    """
+    if seed_length <= 0:
+        raise ValueError("seed_length must be positive, got %d" % seed_length)
+    builder = ScriptBuilder(version)
+    len_r, len_v = len(reference), len(version)
+    if len_v == 0:
+        return builder.finish()
+    if len_r < seed_length or len_v < seed_length:
+        return builder.finish()
+
+    table_r = SeedTable(table_size)
+    table_v = SeedTable(table_size)
+    roller_r = RollingHash(seed_length)
+    roller_v = RollingHash(seed_length)
+
+    rc = 0  # reference cursor
+    vc = 0  # version cursor
+    fp_r = roller_r.reset(reference, 0)
+    fp_v = roller_v.reset(version, 0)
+    r_live = True  # cursor fingerprints valid at rc / vc
+    v_live = True
+
+    def reseed_r(at: int) -> bool:
+        nonlocal fp_r
+        if at + seed_length <= len_r:
+            fp_r = roller_r.reset(reference, at)
+            return True
+        return False
+
+    def reseed_v(at: int) -> bool:
+        nonlocal fp_v
+        if at + seed_length <= len_v:
+            fp_v = roller_v.reset(version, at)
+            return True
+        return False
+
+    while (r_live and rc + seed_length <= len_r) or (v_live and vc + seed_length <= len_v):
+        # Hash the seeds under both cursors *before* the lookups, so two
+        # cursors standing on the same string (the identical-prefix case)
+        # see each other immediately.
+        if r_live and rc + seed_length <= len_r:
+            table_r.insert(fp_r, rc)
+        if v_live and vc + seed_length <= len_v:
+            table_v.insert(fp_v, vc)
+        matched = False
+        # Direction 1: the version seed matches reference data already scanned.
+        if v_live and vc + seed_length <= len_v:
+            cand = table_r.lookup(fp_v)
+            if cand is not None and \
+                    reference[cand:cand + seed_length] == version[vc:vc + seed_length]:
+                length = seed_length + match_length(
+                    reference, cand + seed_length, version, vc + seed_length
+                )
+                builder.emit_copy(cand, vc, length)
+                # Jump BOTH cursors past the matched substrings ([5]).
+                # The version cursor passes the encoded region; the
+                # reference cursor advances by the same amount, keeping
+                # the tandem scan aligned even when the table hit was an
+                # early repeated occurrence rather than the aligned one.
+                vc += length
+                v_live = reseed_v(vc)
+                rc += length
+                r_live = reseed_r(rc)
+                matched = True
+        # Direction 2: the reference seed matches pending version data.
+        if not matched and r_live and rc + seed_length <= len_r:
+            cand = table_v.lookup(fp_r)
+            if cand is not None and cand >= builder.add_start and \
+                    version[cand:cand + seed_length] == reference[rc:rc + seed_length]:
+                length = seed_length + match_length(
+                    reference, rc + seed_length, version, cand + seed_length
+                )
+                builder.emit_copy(rc, cand, length)
+                rc += length
+                r_live = reseed_r(rc)
+                if builder.add_start > vc:
+                    vc = builder.add_start
+                    v_live = reseed_v(vc)
+                matched = True
+        if matched:
+            continue
+        # No match under either cursor: advance both one byte.
+        if r_live and rc + seed_length <= len_r:
+            if rc + seed_length < len_r:
+                fp_r = roller_r.update(reference[rc], reference[rc + seed_length])
+                rc += 1
+            else:
+                rc += 1
+                r_live = False
+        if v_live and vc + seed_length <= len_v:
+            if vc + seed_length < len_v:
+                fp_v = roller_v.update(version[vc], version[vc + seed_length])
+                vc += 1
+            else:
+                vc += 1
+                v_live = False
+    return builder.finish()

@@ -1,0 +1,197 @@
+"""Karp-Rabin rolling hashes and seed tables for the differencing algorithms.
+
+The differencing substrate ([5], [1] in the paper) finds matching strings
+by hashing fixed-length *seeds* (substrings of ``seed_length`` bytes).
+:class:`RollingHash` maintains a Karp-Rabin fingerprint that slides one
+byte at a time in O(1); :class:`SeedTable` is the fixed-size,
+first-come-first-served hash table the linear-time, constant-space
+algorithms use, and :class:`FullSeedIndex` is the exhaustive
+position-list index the greedy algorithm uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+#: Default seed (minimum match) length, the paper's algorithms use ~12-16.
+DEFAULT_SEED_LENGTH = 16
+
+_BASE = 257
+_MODULUS = (1 << 61) - 1  # Mersenne prime keeps the arithmetic fast and uniform.
+
+
+class RollingHash:
+    """Karp-Rabin fingerprint over a sliding window of fixed length.
+
+    ``update(out_byte, in_byte)`` slides the window one byte right in
+    constant time.  The fingerprint is a value in ``[0, 2^61 - 1)``; use
+    :meth:`bucket` to reduce it to a table index.
+    """
+
+    def __init__(self, window: int = DEFAULT_SEED_LENGTH):
+        if window <= 0:
+            raise ValueError("window must be positive, got %d" % window)
+        self.window = window
+        self._value = 0
+        # _BASE ** (window - 1) mod _MODULUS, the weight of the byte
+        # leaving the window.
+        self._out_weight = pow(_BASE, window - 1, _MODULUS)
+
+    @property
+    def value(self) -> int:
+        """Current fingerprint of the window contents."""
+        return self._value
+
+    def reset(self, data: Buffer, start: int = 0) -> int:
+        """Fill the window from ``data[start:start+window]`` and return the hash."""
+        value = 0
+        for i in range(start, start + self.window):
+            value = (value * _BASE + data[i]) % _MODULUS
+        self._value = value
+        return value
+
+    def update(self, out_byte: int, in_byte: int) -> int:
+        """Slide the window: remove ``out_byte`` from the left, append ``in_byte``."""
+        value = (self._value - out_byte * self._out_weight) % _MODULUS
+        self._value = (value * _BASE + in_byte) % _MODULUS
+        return self._value
+
+    def bucket(self, table_size: int) -> int:
+        """Reduce the fingerprint to a bucket index for a table of ``table_size``."""
+        return self._value % table_size
+
+
+def hash_seed(data: Buffer, start: int, length: int) -> int:
+    """One-shot Karp-Rabin hash of ``data[start:start+length]``."""
+    value = 0
+    for i in range(start, start + length):
+        value = (value * _BASE + data[i]) % _MODULUS
+    return value
+
+
+def iter_seed_hashes(data: Buffer, seed_length: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(offset, fingerprint)`` for every seed of ``data``, rolling in O(1)."""
+    n = len(data)
+    if n < seed_length:
+        return
+    roller = RollingHash(seed_length)
+    value = roller.reset(data, 0)
+    yield 0, value
+    for offset in range(1, n - seed_length + 1):
+        value = roller.update(data[offset - 1], data[offset + seed_length - 1])
+        yield offset, value
+
+
+class SeedTable:
+    """Fixed-size seed table with first-come-first-served insertion.
+
+    The constant-space algorithms ([5], [1]) bound memory by hashing seed
+    fingerprints into a table of ``size`` slots, each remembering the
+    offset of the *first* seed that landed there; later colliding seeds
+    are dropped.  Lookups must verify candidate matches against the
+    actual bytes, since distinct seeds can share a slot.
+    """
+
+    __slots__ = ("size", "_slots", "occupied")
+
+    def __init__(self, size: int = 1 << 16):
+        if size <= 0:
+            raise ValueError("table size must be positive, got %d" % size)
+        self.size = size
+        self._slots: List[int] = [-1] * size
+        #: Number of filled slots, exposed for load-factor diagnostics.
+        self.occupied = 0
+
+    def insert(self, fingerprint: int, offset: int) -> bool:
+        """Record ``offset`` for ``fingerprint`` unless its slot is taken.
+
+        Returns True when the offset was stored.
+        """
+        slot = fingerprint % self.size
+        if self._slots[slot] < 0:
+            self._slots[slot] = offset
+            self.occupied += 1
+            return True
+        return False
+
+    def lookup(self, fingerprint: int) -> Optional[int]:
+        """The stored offset for ``fingerprint``'s slot, or ``None``."""
+        offset = self._slots[fingerprint % self.size]
+        return offset if offset >= 0 else None
+
+    def clear(self) -> None:
+        """Empty the table for reuse."""
+        self._slots = [-1] * self.size
+        self.occupied = 0
+
+
+class FullSeedIndex:
+    """Exhaustive seed index: every seed offset of a buffer, by fingerprint.
+
+    The greedy algorithm's structure: space linear in the reference, but
+    it can enumerate *all* candidate match positions for a fingerprint,
+    letting the caller pick the longest extension.  ``max_positions``
+    caps pathological buckets (e.g. runs of zero bytes) so lookups stay
+    bounded.
+    """
+
+    def __init__(self, data: Buffer, seed_length: int = DEFAULT_SEED_LENGTH,
+                 max_positions: int = 64):
+        self.seed_length = seed_length
+        self.data = data
+        self._index: Dict[int, List[int]] = {}
+        for offset, fingerprint in iter_seed_hashes(data, seed_length):
+            bucket = self._index.setdefault(fingerprint, [])
+            if len(bucket) < max_positions:
+                bucket.append(offset)
+
+    def candidates(self, fingerprint: int) -> List[int]:
+        """All stored reference offsets whose seed has this fingerprint."""
+        return self._index.get(fingerprint, [])
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._index.values())
+
+
+def match_length(a: Buffer, a_start: int, b: Buffer, b_start: int,
+                 limit: Optional[int] = None) -> int:
+    """Length of the longest common prefix of ``a[a_start:]`` and ``b[b_start:]``.
+
+    Compares in chunks, so long matches cost far fewer Python-level
+    operations than a byte loop.
+    """
+    max_len = min(len(a) - a_start, len(b) - b_start)
+    if limit is not None:
+        max_len = min(max_len, limit)
+    matched = 0
+    chunk = 512
+    while matched < max_len:
+        step = min(chunk, max_len - matched)
+        if a[a_start + matched:a_start + matched + step] == \
+                b[b_start + matched:b_start + matched + step]:
+            matched += step
+            continue
+        # Mismatch inside this chunk: locate it bytewise.
+        for i in range(step):
+            if a[a_start + matched + i] != b[b_start + matched + i]:
+                return matched + i
+        matched += step
+    return matched
+
+
+def match_length_backward(a: Buffer, a_end: int, b: Buffer, b_end: int,
+                          limit: Optional[int] = None) -> int:
+    """Length of the longest common suffix of ``a[:a_end]`` and ``b[:b_end]``.
+
+    ``a_end``/``b_end`` are exclusive.  Used by the correcting algorithm
+    to extend matches backwards over bytes previously classed as added.
+    """
+    max_len = min(a_end, b_end)
+    if limit is not None:
+        max_len = min(max_len, limit)
+    matched = 0
+    while matched < max_len and a[a_end - matched - 1] == b[b_end - matched - 1]:
+        matched += 1
+    return matched

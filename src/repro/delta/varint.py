@@ -1,0 +1,67 @@
+"""Unsigned variable-length integer coding (LEB128).
+
+The delta wire formats encode offsets and lengths as LEB128 varints:
+seven payload bits per byte, least-significant group first, high bit set
+on every byte except the last.  Small values — the common case for
+lengths and near offsets — take one byte; any 64-bit offset fits in ten.
+
+:func:`varint_size` is also the library's default model for ``|f|``, the
+encoded size of a copy command's *from* field, which prices copy-to-add
+evictions in the cost model of section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from ..exceptions import DeltaFormatError
+
+_MAX_VARINT_BYTES = 10
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a LEB128 varint."""
+    if value < 0:
+        raise ValueError("varints encode non-negative integers, got %d" % value)
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: Union[bytes, bytearray, memoryview], offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint from ``data`` at ``offset``.
+
+    Returns ``(value, next_offset)``.  Raises
+    :class:`~repro.exceptions.DeltaFormatError` on truncation or on a
+    varint longer than ten bytes (an over-long or corrupt encoding).
+    """
+    value = 0
+    shift = 0
+    pos = offset
+    for _ in range(_MAX_VARINT_BYTES):
+        if pos >= len(data):
+            raise DeltaFormatError("truncated varint at byte %d" % offset)
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+    raise DeltaFormatError("varint at byte %d exceeds %d bytes" % (offset, _MAX_VARINT_BYTES))
+
+
+def varint_size(value: int) -> int:
+    """Number of bytes :func:`encode_varint` uses for ``value``."""
+    if value < 0:
+        raise ValueError("varints encode non-negative integers, got %d" % value)
+    size = 1
+    while value > 0x7F:
+        value >>= 7
+        size += 1
+    return size

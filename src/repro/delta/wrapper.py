@@ -1,0 +1,122 @@
+"""Transport envelope: secondary compression of delta payloads.
+
+A delta file's add commands carry fresh literal data — text and code
+that zlib shrinks further — and its codeword stream has its own
+redundancy.  Distribution systems therefore compress the *transport*
+representation while devices apply the raw delta.  This module is that
+envelope:
+
+* :func:`seal` wraps any payload as ``"IPDZ" | raw_length varint |
+  zlib stream``;
+* :func:`unseal` recovers the payload (and passes unsealed data
+  through, so receivers handle both transparently);
+* :class:`SealedReader` exposes a sealed payload as an incremental
+  binary stream, so the *streaming* in-place applier can consume a
+  compressed delta with only zlib's bounded window in RAM — transport
+  compression without giving up the small-memory apply path.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Union
+
+from ..exceptions import DeltaFormatError
+from .varint import decode_varint, encode_varint
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+SEAL_MAGIC = b"IPDZ"
+
+#: Working memory a zlib inflate needs: 32 KiB window plus bookkeeping.
+INFLATE_RAM = 40 * 1024
+
+
+def is_sealed(data: Buffer) -> bool:
+    """True when ``data`` carries the compression envelope."""
+    return len(data) >= 4 and bytes(data[:4]) == SEAL_MAGIC
+
+
+def seal(payload: Buffer, *, level: int = 6) -> bytes:
+    """Wrap ``payload`` in the compressed transport envelope.
+
+    Sealing is only worthwhile when zlib actually wins; when the
+    compressed stream plus header would be no smaller, the payload is
+    returned unwrapped (receivers accept both).  A payload that itself
+    begins with the seal magic is always wrapped, so :func:`unseal`
+    never misreads raw data as an envelope.
+    """
+    raw = bytes(payload)
+    body = zlib.compress(raw, level)
+    sealed = SEAL_MAGIC + encode_varint(len(raw)) + body
+    if raw.startswith(SEAL_MAGIC):
+        return sealed
+    return sealed if len(sealed) < len(raw) else raw
+
+
+def unseal(data: Buffer) -> bytes:
+    """Recover the payload from :func:`seal` output (pass-through if raw)."""
+    if not is_sealed(data):
+        return bytes(data)
+    raw_length, pos = decode_varint(data, 4)
+    try:
+        payload = zlib.decompress(bytes(data[pos:]))
+    except zlib.error as exc:
+        raise DeltaFormatError("sealed payload is corrupt: %s" % exc) from None
+    if len(payload) != raw_length:
+        raise DeltaFormatError(
+            "sealed payload inflated to %d bytes, header promised %d"
+            % (len(payload), raw_length)
+        )
+    return payload
+
+
+class SealedReader:
+    """Incremental binary reader over a sealed (or raw) payload.
+
+    Implements the ``read(n)`` protocol the streaming decoder uses,
+    inflating on demand so only zlib's window plus one output chunk is
+    ever resident — the companion of
+    :func:`repro.delta.stream.apply_delta_stream` for compressed
+    transports.
+    """
+
+    def __init__(self, data: Buffer, *, chunk: int = 4096):
+        if chunk <= 0:
+            raise ValueError("chunk must be positive, got %d" % chunk)
+        self._chunk = chunk
+        if is_sealed(data):
+            self._raw_length, pos = decode_varint(data, 4)
+            self._compressed = memoryview(bytes(data))[pos:]
+            self._inflater = zlib.decompressobj()
+        else:
+            self._raw_length = len(data)
+            self._compressed = memoryview(bytes(data))
+            self._inflater = None
+        self._pos = 0  # consumed compressed bytes (raw mode: payload bytes)
+        self._buffer = bytearray()
+        self._delivered = 0
+
+    def read(self, n: int = -1) -> bytes:
+        """Return up to ``n`` decompressed bytes (all remaining if n < 0)."""
+        if n < 0:
+            n = self._raw_length - self._delivered
+        if self._inflater is None:
+            out = bytes(self._compressed[self._pos:self._pos + n])
+            self._pos += len(out)
+            self._delivered += len(out)
+            return out
+        try:
+            while len(self._buffer) < n:
+                if self._pos >= len(self._compressed):
+                    self._buffer += self._inflater.flush()
+                    break
+                feed = self._compressed[self._pos:self._pos + self._chunk]
+                self._pos += len(feed)
+                self._buffer += self._inflater.decompress(bytes(feed))
+        except zlib.error as exc:
+            raise DeltaFormatError("sealed payload is corrupt: %s" % exc) from None
+        out = bytes(self._buffer[:n])
+        del self._buffer[:n]
+        self._delivered += len(out)
+        return out

@@ -1,0 +1,98 @@
+"""Low-bandwidth channel model for software distribution.
+
+Section 1 of the paper motivates delta compression by transfer time over
+"low bandwidth channels, such as the Internet" of 1998.  This channel
+model is deliberately simple — fixed round-trip latency plus serialized
+bytes at a fixed rate, with optional per-byte corruption — because the
+experiments only need relative transfer times between payload sizes, not
+a TCP simulator.
+
+Presets cover the era's device links (9.6 kbit/s cellular, 28.8/56 kbit/s
+modems, 128 kbit/s ISDN, 1.5 Mbit/s T1) so the update-time bench can
+sweep them.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..exceptions import TransmissionError
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A point-to-point link: ``bandwidth_bps`` bits/second, ``latency_s`` RTT."""
+
+    name: str
+    bandwidth_bps: float
+    latency_s: float = 0.1
+    #: Probability any single transfer is corrupted (models the lossy
+    #: links that make end-to-end checksums necessary).
+    corruption_rate: float = 0.0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to deliver ``nbytes`` including one round trip of latency."""
+        if nbytes < 0:
+            raise ValueError("cannot transfer a negative byte count")
+        return self.latency_s + (8.0 * nbytes) / self.bandwidth_bps
+
+    def transmit(self, payload: bytes, rng: Optional[random.Random] = None) -> "Delivery":
+        """Simulate sending ``payload``; returns the delivery record.
+
+        With ``corruption_rate`` set and an ``rng`` supplied, the payload
+        may arrive flipped; receivers relying on checksums (the device
+        layer) will detect it and can re-request.
+        """
+        data = payload
+        corrupted = False
+        if self.corruption_rate > 0.0 and rng is not None:
+            if rng.random() < self.corruption_rate:
+                if not payload:
+                    raise TransmissionError("cannot corrupt an empty payload")
+                pos = rng.randrange(len(payload))
+                flipped = bytes([payload[pos] ^ (1 << rng.randrange(8))])
+                data = payload[:pos] + flipped + payload[pos + 1:]
+                corrupted = True
+        return Delivery(
+            payload=data,
+            nbytes=len(payload),
+            seconds=self.transfer_time(len(payload)),
+            corrupted=corrupted,
+        )
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Outcome of one simulated transfer."""
+
+    payload: bytes
+    nbytes: int
+    seconds: float
+    corrupted: bool
+
+    def checksum(self) -> int:
+        """CRC32 of the received payload."""
+        return zlib.crc32(self.payload) & 0xFFFFFFFF
+
+
+#: Link presets from the paper's era, by common name.
+CHANNELS: Dict[str, Channel] = {
+    "cellular-9.6k": Channel("cellular-9.6k", 9_600, latency_s=0.8),
+    "modem-28.8k": Channel("modem-28.8k", 28_800, latency_s=0.3),
+    "modem-56k": Channel("modem-56k", 56_000, latency_s=0.25),
+    "isdn-128k": Channel("isdn-128k", 128_000, latency_s=0.15),
+    "t1-1.5m": Channel("t1-1.5m", 1_536_000, latency_s=0.08),
+}
+
+
+def get_channel(name: str) -> Channel:
+    """Look up a preset channel by name."""
+    try:
+        return CHANNELS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown channel %r; choose from %s" % (name, ", ".join(sorted(CHANNELS)))
+        ) from None

@@ -1,0 +1,195 @@
+"""End-to-end software update sessions: server, channel, device.
+
+This orchestrates the paper's motivating scenario.  An
+:class:`UpdateServer` holds the released versions of an image; when a
+device on release *k* requests release *k+1*, the server differences the
+two, post-processes the delta for in-place reconstruction, serializes it
+with a checksum, and ships it over a :class:`~repro.device.channel.Channel`.
+The :class:`~repro.device.memory.ConstrainedDevice` applies it in the
+storage the old image occupies.
+
+:func:`run_update` compares the four distribution strategies the
+update-time bench sweeps:
+
+* ``"full"`` — send the whole new image (no compression);
+* ``"delta"`` — send a conventional delta; the device needs scratch RAM
+  for the new version (fails on small devices);
+* ``"in-place"`` — send a converted delta, staged in RAM then applied in
+  the storage the old image occupies;
+* ``"in-place-stream"`` — the same converted delta consumed directly off
+  the wire: RAM independent of both image and delta size (the smallest
+  possible footprint, beyond what the paper required).
+
+Corrupted deliveries are detected by checksum and retransmitted, up to
+``max_retries``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.convert import make_in_place
+from ..delta import ALGORITHMS
+from ..delta.encode import FORMAT_INPLACE, FORMAT_SEQUENTIAL, encode_delta, version_checksum
+from ..delta.wrapper import seal
+from ..exceptions import (
+    DeltaFormatError,
+    OutOfMemoryError,
+    ReproError,
+    StorageBoundsError,
+    TransmissionError,
+    VerificationError,
+)
+from .channel import Channel, Delivery
+from .memory import ConstrainedDevice
+
+STRATEGIES = ("full", "delta", "in-place", "in-place-stream")
+
+
+@dataclass
+class UpdateOutcome:
+    """Record of one update attempt."""
+
+    strategy: str
+    payload_bytes: int
+    image_bytes: int
+    transfer_seconds: float
+    attempts: int = 1
+    succeeded: bool = False
+    failure: str = ""
+
+    @property
+    def compression_ratio(self) -> float:
+        """Payload size relative to the full image (lower is better)."""
+        if self.image_bytes == 0:
+            return 1.0
+        return self.payload_bytes / self.image_bytes
+
+
+class UpdateServer:
+    """Holds released images and builds update payloads on demand."""
+
+    def __init__(self, *, algorithm: str = "correcting", policy: str = "local-min",
+                 scratch_budget: int = 0, transport_compress: bool = False):
+        self.algorithm = algorithm
+        self.policy = policy
+        #: Apply the zlib transport envelope to every payload built.
+        self.transport_compress = transport_compress
+        #: Device scratch bytes the server may assume (bounded-scratch
+        #: extension); evictions route through scratch up to this budget.
+        self.scratch_budget = scratch_budget
+        self._releases: Dict[str, List[bytes]] = {}
+
+    def publish(self, package: str, image: bytes) -> int:
+        """Append a new release of ``package``; returns its release number."""
+        releases = self._releases.setdefault(package, [])
+        releases.append(bytes(image))
+        return len(releases) - 1
+
+    def release(self, package: str, number: int) -> bytes:
+        """The bytes of one published release."""
+        return self._releases[package][number]
+
+    def latest_release(self, package: str) -> int:
+        """Highest release number published for ``package``."""
+        if package not in self._releases or not self._releases[package]:
+            raise KeyError("no releases published for %r" % package)
+        return len(self._releases[package]) - 1
+
+    def build_payload(self, package: str, have: int, want: int, strategy: str) -> bytes:
+        """Serialize the update from release ``have`` to ``want``."""
+        wrap = seal if self.transport_compress else (lambda p: p)
+        new = self.release(package, want)
+        if strategy == "full":
+            return wrap(new)
+        old = self.release(package, have)
+        script = ALGORITHMS[self.algorithm](old, new)
+        if strategy == "delta":
+            return wrap(encode_delta(
+                script, FORMAT_SEQUENTIAL, version_crc32=version_checksum(new)
+            ))
+        if strategy in ("in-place", "in-place-stream"):
+            converted = make_in_place(script, old, policy=self.policy,
+                                      scratch_budget=self.scratch_budget)
+            return wrap(encode_delta(
+                converted.script, FORMAT_INPLACE, version_crc32=version_checksum(new)
+            ))
+        raise ValueError(
+            "unknown strategy %r; choose from %s" % (strategy, ", ".join(STRATEGIES))
+        )
+
+
+def run_update(
+    server: UpdateServer,
+    device: ConstrainedDevice,
+    channel: Channel,
+    package: str,
+    *,
+    have: int,
+    want: Optional[int] = None,
+    strategy: str = "in-place",
+    max_retries: int = 3,
+    rng: Optional[random.Random] = None,
+) -> UpdateOutcome:
+    """Run one update session end to end and report what happened.
+
+    The outcome records payload size and cumulative (simulated) transfer
+    time including retransmissions; ``succeeded=False`` outcomes carry
+    the failure reason (out of memory, exhausted retries, ...) so benches
+    can tabulate strategy viability per device class.
+    """
+    if want is None:
+        want = server.latest_release(package)
+    payload = server.build_payload(package, have, want, strategy)
+    image_bytes = len(server.release(package, want))
+    outcome = UpdateOutcome(
+        strategy=strategy,
+        payload_bytes=len(payload),
+        image_bytes=image_bytes,
+        transfer_seconds=0.0,
+    )
+
+    appliers: Dict[str, Callable[[bytes], None]] = {
+        "full": device.install_full_image,
+        "delta": device.apply_delta_two_space,
+        "in-place": device.apply_delta_in_place,
+        "in-place-stream": device.apply_delta_streaming,
+    }
+    apply_payload = appliers[strategy]
+
+    for attempt in range(1, max_retries + 1):
+        outcome.attempts = attempt
+        delivery: Delivery = channel.transmit(payload, rng)
+        outcome.transfer_seconds += delivery.seconds
+        try:
+            apply_payload(delivery.payload)
+        except DeltaFormatError:
+            # Corruption caught while parsing, before any byte of the
+            # image changed: safe to retransmit under every strategy.
+            continue
+        except (OutOfMemoryError, StorageBoundsError) as exc:
+            # Deterministic device constraints: retrying cannot help.
+            outcome.failure = "%s: %s" % (type(exc).__name__, exc)
+            return outcome
+        except ReproError as exc:
+            # Two-space strategies commit only on success, so any other
+            # failure (bad ranges, checksum mismatch) is retryable.  The
+            # in-place strategy mutates the image as it goes: a failure
+            # past the parse stage may have damaged it, and recovery
+            # would need a full re-image — report it.
+            if strategy in ("in-place", "in-place-stream"):
+                outcome.failure = "%s: %s (image may be damaged)" % (
+                    type(exc).__name__, exc,
+                )
+                return outcome
+            continue
+        expected = server.release(package, want)
+        if device.image != expected:
+            outcome.failure = "reconstructed image differs from release %d" % want
+            return outcome
+        outcome.succeeded = True
+        return outcome
+    outcome.failure = "exhausted %d transmission attempts" % max_retries
+    return outcome

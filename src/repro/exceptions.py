@@ -1,0 +1,78 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  The subtypes
+distinguish the three phases a delta travels through: construction
+(differencing and encoding), conversion (in-place post-processing), and
+application (reconstruction on the target).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class DeltaFormatError(ReproError):
+    """A serialized delta file is malformed or truncated."""
+
+
+class DeltaRangeError(ReproError):
+    """A delta command addresses bytes outside its file bounds."""
+
+
+class OverlappingWriteError(ReproError):
+    """Two commands in one delta script write to intersecting intervals.
+
+    Delta scripts must have disjoint write intervals (paper, section 3);
+    a script violating this cannot encode a well-defined version file.
+    """
+
+
+class IncompleteCoverError(ReproError):
+    """A delta script's write intervals do not cover the whole version."""
+
+    def __init__(self, message: str, gaps=None):
+        super().__init__(message)
+        #: List of (start, stop) half-open gaps left uncovered, if known.
+        self.gaps = list(gaps) if gaps is not None else []
+
+
+class WriteBeforeReadError(ReproError):
+    """An in-place script would read a region it has already written.
+
+    Raised by the verifier (and by the strict in-place applier) when a
+    script violates Equation 2 of the paper.
+    """
+
+    def __init__(self, message: str, writer_index: int = -1, reader_index: int = -1):
+        super().__init__(message)
+        #: Position (in application order) of the earlier, writing command.
+        self.writer_index = writer_index
+        #: Position (in application order) of the later, reading command.
+        self.reader_index = reader_index
+
+
+class CycleBreakError(ReproError):
+    """A cycle-breaking policy failed to produce a usable eviction."""
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-device failures."""
+
+
+class OutOfMemoryError(DeviceError):
+    """The simulated device exceeded its RAM budget."""
+
+
+class StorageBoundsError(DeviceError):
+    """An access fell outside the simulated device's storage image."""
+
+
+class TransmissionError(DeviceError):
+    """The simulated channel dropped or corrupted a payload."""
+
+
+class VerificationError(ReproError):
+    """A reconstructed image failed its integrity check."""

@@ -1,0 +1,41 @@
+"""Synthetic workloads: file mutators, content generators, versioned corpus."""
+
+from .corpus import (
+    Corpus,
+    PackageSpec,
+    VersionPair,
+    benchmark_corpus,
+    default_package_specs,
+    small_corpus,
+)
+from .mutators import (
+    CHURN_PROFILE,
+    MUTATORS,
+    STABLE_PROFILE,
+    MutationProfile,
+    edit_distance_estimate,
+    mutate,
+)
+from .sources import GENERATORS, make_binary_blob, make_changelog, make_source_file
+from .web import WebSite, fetch_sequence
+
+__all__ = [
+    "CHURN_PROFILE",
+    "Corpus",
+    "GENERATORS",
+    "MUTATORS",
+    "MutationProfile",
+    "PackageSpec",
+    "STABLE_PROFILE",
+    "VersionPair",
+    "WebSite",
+    "benchmark_corpus",
+    "fetch_sequence",
+    "default_package_specs",
+    "edit_distance_estimate",
+    "make_binary_blob",
+    "make_changelog",
+    "make_source_file",
+    "mutate",
+    "small_corpus",
+]

@@ -1,0 +1,132 @@
+"""Synthetic HTTP-object workload (paper references [10], [2]).
+
+Section 2 notes the then-emerging use of delta files for HTTP: "This
+permits web servers to both reduce the amount of data to be transmitted
+to a client and reduce the latency associated with loading web pages."
+Mogul et al. [10] measured that successive responses for the same URL
+are mostly template: navigation, boilerplate, and markup stay, while
+headlines, dates, and counters churn.
+
+This generator synthesizes that structure: a site of templated pages
+whose *dynamic slots* (story titles, timestamps, counters) change
+between fetches while the surrounding markup persists — the workload an
+HTTP delta cache sees.  Used by the ``web_cache`` example and the
+corresponding tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+_WORDS = [
+    "server", "network", "release", "update", "device", "protocol", "cache",
+    "mirror", "archive", "kernel", "editor", "compiler", "patch", "version",
+    "socket", "gateway", "modem", "browser", "index", "bulletin",
+]
+
+_TEMPLATE_HEAD = """<html>
+<head><title>{site} :: {section}</title></head>
+<body bgcolor="#ffffff">
+<center><h1>{site}</h1></center>
+<table width="100%" border="0"><tr>
+<td width="20%" valign="top">
+{nav}
+</td>
+<td valign="top">
+"""
+
+_TEMPLATE_FOOT = """</td></tr></table>
+<hr>
+<address>webmaster@{site_lower}.example :: page generated {stamp}</address>
+</body>
+</html>
+"""
+
+
+def _headline(rng: random.Random) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(rng.randint(3, 7))).title()
+
+
+def _story(rng: random.Random, headline: str) -> str:
+    sentences = []
+    for _ in range(rng.randint(2, 6)):
+        sentences.append(
+            ("The %s %s announced a new %s for the %s %s."
+             % tuple(rng.choice(_WORDS) for _ in range(5))).capitalize()
+        )
+    return "<h3>%s</h3>\n<p>%s</p>" % (headline, " ".join(sentences))
+
+
+@dataclass
+class WebSite:
+    """A templated site whose pages are refetched as they evolve.
+
+    ``snapshot(page)`` renders the page's current state; ``evolve()``
+    advances the site one publishing cycle: a few headlines rotate, the
+    timestamp and counters change, and occasionally a navigation entry
+    is added — leaving most bytes identical, per [10]'s measurements.
+    """
+
+    name: str = "Daily-Packet"
+    sections: int = 4
+    stories_per_page: int = 8
+    seed: int = 19971101
+    _rng: random.Random = field(init=False, repr=False)
+    _stories: Dict[int, List[str]] = field(init=False, repr=False)
+    _nav: List[str] = field(init=False, repr=False)
+    _cycle: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._nav = ["<a href=\"/s%d\">Section %d</a><br>" % (s, s)
+                     for s in range(self.sections)]
+        self._stories = {
+            s: [_story(self._rng, _headline(self._rng))
+                for _ in range(self.stories_per_page)]
+            for s in range(self.sections)
+        }
+
+    @property
+    def pages(self) -> List[int]:
+        """Identifiers of the site's pages (one per section)."""
+        return list(range(self.sections))
+
+    def snapshot(self, page: int) -> bytes:
+        """Render the current state of ``page`` as HTML bytes."""
+        head = _TEMPLATE_HEAD.format(
+            site=self.name,
+            section="Section %d" % page,
+            nav="\n".join(self._nav),
+        )
+        body = "\n<hr>\n".join(self._stories[page])
+        foot = _TEMPLATE_FOOT.format(
+            site_lower=self.name.lower(),
+            stamp="cycle %06d, visitor %08d"
+            % (self._cycle, 10_000 + 37 * self._cycle),
+        )
+        return (head + body + foot).encode("ascii")
+
+    def evolve(self) -> None:
+        """One publishing cycle: rotate a few stories, touch the chrome."""
+        rng = self._rng
+        self._cycle += 1
+        for page, stories in self._stories.items():
+            for _ in range(rng.randint(1, 3)):
+                slot = rng.randrange(len(stories))
+                stories[slot] = _story(rng, _headline(rng))
+        if rng.random() < 0.15:
+            self._nav.append(
+                "<a href=\"/extra%d\">%s</a><br>" % (self._cycle, _headline(rng))
+            )
+
+
+def fetch_sequence(site: WebSite, page: int, fetches: int) -> Iterator[Tuple[bytes, bytes]]:
+    """Yield (previous, current) response pairs for repeated fetches of a page."""
+    previous = site.snapshot(page)
+    for _ in range(fetches):
+        site.evolve()
+        current = site.snapshot(page)
+        yield previous, current
+        previous = current

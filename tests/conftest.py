@@ -1,0 +1,39 @@
+"""Shared fixtures: deterministic RNGs, sample version pairs, tiny corpus."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads import Corpus, mutate
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; tests that need randomness derive it from here."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def sample_pair(rng) -> tuple:
+    """A (reference, version) pair with realistic localized edits."""
+    reference = rng.randbytes(6_000)
+    version = mutate(reference, rng)
+    return reference, version
+
+
+@pytest.fixture
+def text_pair(rng) -> tuple:
+    """A text-like (reference, version) pair with heavy internal repetition."""
+    from repro.workloads import make_source_file
+
+    reference = make_source_file(rng, 8_000)
+    version = mutate(reference, rng)
+    return reference, version
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus() -> Corpus:
+    """A small, fast corpus shared by integration-style tests."""
+    return Corpus(seed=7, packages=2, releases=2, scale=0.12)

@@ -1,0 +1,67 @@
+"""Tests for the top-level public API (repro/__init__.py)."""
+
+import pytest
+
+import repro
+
+
+class TestDiff:
+    def test_default_algorithm(self, sample_pair):
+        ref, ver = sample_pair
+        script = repro.diff(ref, ver)
+        assert repro.apply_delta(script, ref) == ver
+
+    def test_algorithm_selection(self, sample_pair):
+        ref, ver = sample_pair
+        for name in repro.ALGORITHMS:
+            script = repro.diff(ref, ver, algorithm=name)
+            assert repro.apply_delta(script, ref) == ver
+
+    def test_kwargs_forwarded(self, sample_pair):
+        ref, ver = sample_pair
+        script = repro.diff(ref, ver, algorithm="greedy", seed_length=32)
+        assert repro.apply_delta(script, ref) == ver
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            repro.diff(b"a", b"b", algorithm="magic")
+
+
+class TestDiffInPlace:
+    def test_end_to_end(self, sample_pair):
+        ref, ver = sample_pair
+        result = repro.diff_in_place(ref, ver)
+        assert repro.is_in_place_safe(result.script)
+        buf = bytearray(ref)
+        repro.apply_in_place(result.script, buf, strict=True)
+        assert bytes(buf) == ver
+
+    def test_policy_forwarded(self, sample_pair):
+        ref, ver = sample_pair
+        result = repro.diff_in_place(ref, ver, policy="constant")
+        assert result.report.policy == "constant"
+
+
+class TestPatch:
+    def test_patch(self, sample_pair):
+        ref, ver = sample_pair
+        script = repro.diff(ref, ver)
+        payload = repro.encode_delta(script, repro.FORMAT_SEQUENTIAL)
+        assert repro.patch(ref, payload) == ver
+
+    def test_patch_in_place(self, sample_pair):
+        ref, ver = sample_pair
+        result = repro.diff_in_place(ref, ver)
+        payload = repro.encode_delta(result.script, repro.FORMAT_INPLACE)
+        buf = bytearray(ref)
+        repro.patch_in_place(buf, payload)
+        assert bytes(buf) == ver
+
+
+class TestSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__

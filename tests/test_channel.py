@@ -1,0 +1,72 @@
+"""Unit tests for the channel model (repro.device.channel)."""
+
+import random
+
+import pytest
+
+from repro.device.channel import CHANNELS, Channel, get_channel
+
+
+class TestTransferTime:
+    def test_latency_plus_serialization(self):
+        ch = Channel("test", bandwidth_bps=8_000, latency_s=0.5)
+        # 1000 bytes = 8000 bits = 1 second at 8 kbit/s, plus latency.
+        assert ch.transfer_time(1_000) == pytest.approx(1.5)
+
+    def test_zero_bytes_is_latency_only(self):
+        ch = Channel("test", bandwidth_bps=8_000, latency_s=0.25)
+        assert ch.transfer_time(0) == pytest.approx(0.25)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("test", 1_000).transfer_time(-1)
+
+    def test_faster_channel_is_faster(self):
+        slow = get_channel("modem-28.8k")
+        fast = get_channel("t1-1.5m")
+        assert fast.transfer_time(100_000) < slow.transfer_time(100_000)
+
+
+class TestTransmit:
+    def test_lossless_by_default(self):
+        ch = Channel("test", 56_000)
+        delivery = ch.transmit(b"payload")
+        assert delivery.payload == b"payload"
+        assert not delivery.corrupted
+        assert delivery.nbytes == 7
+
+    def test_corruption_flips_one_bit(self):
+        ch = Channel("lossy", 56_000, corruption_rate=1.0)
+        rng = random.Random(1)
+        delivery = ch.transmit(b"payload-data", rng)
+        assert delivery.corrupted
+        assert delivery.payload != b"payload-data"
+        assert len(delivery.payload) == len(b"payload-data")
+        diff = [i for i in range(len(delivery.payload))
+                if delivery.payload[i] != b"payload-data"[i]]
+        assert len(diff) == 1
+
+    def test_corruption_needs_rng(self):
+        ch = Channel("lossy", 56_000, corruption_rate=1.0)
+        assert not ch.transmit(b"data").corrupted  # no rng: deterministic path
+
+    def test_checksum(self):
+        import zlib
+
+        delivery = Channel("t", 1_000).transmit(b"abc")
+        assert delivery.checksum() == zlib.crc32(b"abc") & 0xFFFFFFFF
+
+
+class TestPresets:
+    def test_known_presets(self):
+        for name in ("cellular-9.6k", "modem-28.8k", "modem-56k", "isdn-128k", "t1-1.5m"):
+            assert get_channel(name).name == name
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            get_channel("carrier-pigeon")
+
+    def test_bandwidth_ordering(self):
+        bws = [CHANNELS[n].bandwidth_bps for n in
+               ("cellular-9.6k", "modem-28.8k", "modem-56k", "isdn-128k", "t1-1.5m")]
+        assert bws == sorted(bws)

@@ -1,0 +1,172 @@
+"""Tests for the ipdelta command-line interface (repro.cli)."""
+
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import make_source_file, mutate
+
+
+@pytest.fixture
+def files(tmp_path):
+    rng = random.Random(31)
+    ref = make_source_file(rng, 6_000)
+    ver = mutate(ref, rng)
+    ref_path = tmp_path / "old.bin"
+    ver_path = tmp_path / "new.bin"
+    ref_path.write_bytes(ref)
+    ver_path.write_bytes(ver)
+    return tmp_path, ref_path, ver_path, ref, ver
+
+
+class TestDiffApply:
+    def test_sequential_round_trip(self, files, capsys):
+        tmp, ref_path, ver_path, ref, ver = files
+        delta = tmp / "out.delta"
+        rebuilt = tmp / "rebuilt.bin"
+        assert main(["diff", str(ref_path), str(ver_path), str(delta)]) == 0
+        assert "sequential" in capsys.readouterr().out
+        assert main(["apply", str(ref_path), str(delta), str(rebuilt)]) == 0
+        assert rebuilt.read_bytes() == ver
+
+    def test_in_place_round_trip(self, files):
+        tmp, ref_path, ver_path, ref, ver = files
+        delta = tmp / "out.ipdelta"
+        rebuilt = tmp / "rebuilt.bin"
+        assert main(["diff", "--in-place", str(ref_path), str(ver_path),
+                     str(delta)]) == 0
+        assert main(["apply", "--in-place", str(ref_path), str(delta),
+                     str(rebuilt)]) == 0
+        assert rebuilt.read_bytes() == ver
+
+    @pytest.mark.parametrize("algorithm", ["greedy", "onepass", "correcting"])
+    def test_algorithms(self, files, algorithm):
+        tmp, ref_path, ver_path, ref, ver = files
+        delta = tmp / "d"
+        rebuilt = tmp / "r"
+        assert main(["diff", "--algorithm", algorithm, str(ref_path),
+                     str(ver_path), str(delta)]) == 0
+        assert main(["apply", str(ref_path), str(delta), str(rebuilt)]) == 0
+        assert rebuilt.read_bytes() == ver
+
+    def test_missing_file_is_error(self, tmp_path, capsys):
+        rc = main(["diff", str(tmp_path / "none"), str(tmp_path / "none2"),
+                   str(tmp_path / "out")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestConvertInspect:
+    def test_convert_then_apply_in_place(self, files, capsys):
+        tmp, ref_path, ver_path, ref, ver = files
+        seq = tmp / "seq.delta"
+        conv = tmp / "conv.delta"
+        rebuilt = tmp / "rebuilt"
+        main(["diff", str(ref_path), str(ver_path), str(seq)])
+        assert main(["convert", str(ref_path), str(seq), str(conv),
+                     "--policy", "constant"]) == 0
+        out = capsys.readouterr().out
+        assert "policy" in out and "constant" in out
+        assert main(["apply", "--in-place", str(ref_path), str(conv),
+                     str(rebuilt)]) == 0
+        assert rebuilt.read_bytes() == ver
+
+    def test_inspect_reports_safety(self, files, capsys):
+        tmp, ref_path, ver_path, ref, ver = files
+        delta = tmp / "d"
+        main(["diff", "--in-place", str(ref_path), str(ver_path), str(delta)])
+        assert main(["inspect", str(delta)]) == 0
+        out = capsys.readouterr().out
+        assert "in-place safe" in out
+        assert "yes" in out
+        assert "CRWI edges" in out
+
+
+class TestCorpusCommand:
+    def test_materializes_tree(self, tmp_path, capsys):
+        out_dir = tmp_path / "corpus"
+        assert main(["corpus", str(out_dir), "--packages", "2",
+                     "--releases", "2", "--scale", "0.1", "--seed", "3"]) == 0
+        r0_files = list((out_dir / "r0").rglob("*"))
+        r1_files = list((out_dir / "r1").rglob("*"))
+        assert any(p.is_file() for p in r0_files)
+        assert len([p for p in r0_files if p.is_file()]) == \
+            len([p for p in r1_files if p.is_file()])
+        assert "release" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert "ipdelta" in capsys.readouterr().out
+
+
+class TestComposeCommand:
+    def test_compose_chain(self, tmp_path):
+        import random
+
+        from repro.workloads import make_source_file, mutate
+
+        rng = random.Random(8)
+        v0 = make_source_file(rng, 4_000)
+        v1 = mutate(v0, rng)
+        v2 = mutate(v1, rng)
+        paths = {}
+        for name, data in (("v0", v0), ("v1", v1), ("v2", v2)):
+            paths[name] = tmp_path / name
+            paths[name].write_bytes(data)
+        d1, d2, dc = tmp_path / "d1", tmp_path / "d2", tmp_path / "dc"
+        out = tmp_path / "out"
+        assert main(["diff", str(paths["v0"]), str(paths["v1"]), str(d1)]) == 0
+        assert main(["diff", str(paths["v1"]), str(paths["v2"]), str(d2)]) == 0
+        assert main(["compose", str(d1), str(d2), str(dc)]) == 0
+        assert main(["apply", str(paths["v0"]), str(dc), str(out)]) == 0
+        assert out.read_bytes() == v2
+
+
+class TestTreeCommands:
+    def test_tree_diff_and_patch(self, tmp_path, capsys):
+        import random
+
+        from repro.workloads import make_source_file, mutate
+
+        rng = random.Random(12)
+        old_root = tmp_path / "old"
+        new_root = tmp_path / "new"
+        for root in (old_root, new_root):
+            (root / "src").mkdir(parents=True)
+        base = make_source_file(rng, 4_000)
+        (old_root / "src/app.c").write_bytes(base)
+        (old_root / "LICENSE").write_bytes(b"MIT\n" * 20)
+        (new_root / "src/app.c").write_bytes(mutate(base, rng))
+        (new_root / "COPYING").write_bytes(b"MIT\n" * 20)  # rename
+        (new_root / "src/extra.c").write_bytes(make_source_file(rng, 1_000))
+
+        bundle = tmp_path / "up.bundle"
+        assert main(["tree-diff", str(old_root), str(new_root), str(bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "1 delta" in out and "1 rename" in out
+
+        assert main(["tree-patch", str(old_root), str(bundle)]) == 0
+        # The old tree now equals the new tree.
+        for path in new_root.rglob("*"):
+            if path.is_file():
+                rel = path.relative_to(new_root)
+                assert (old_root / rel).read_bytes() == path.read_bytes(), rel
+        assert not (old_root / "LICENSE").exists()
+
+
+class TestReportCommand:
+    def test_report_runs_and_mentions_every_section(self, capsys):
+        assert main(["report", "--scale", "0.08", "--packages", "2",
+                     "--releases", "2"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 1", "Figure 2", "Figure 3", "runtime",
+                       "compression factors", "paper"):
+            assert marker in out, marker

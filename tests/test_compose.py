@@ -1,0 +1,178 @@
+"""Tests for delta composition (repro.core.compose)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.core.apply import apply_delta, apply_in_place
+from repro.core.commands import AddCommand, CopyCommand, DeltaScript
+from repro.core.compose import compose_chain, compose_scripts
+from repro.core.convert import make_in_place
+from repro.exceptions import DeltaRangeError, ReproError
+from repro.workloads import mutate
+
+
+class TestComposeBasics:
+    def test_copy_through_copy(self):
+        # d1: v1 = ref[10:20]; d2: v2 = v1[2:8].
+        d1 = DeltaScript([CopyCommand(10, 0, 10)], version_length=10)
+        d2 = DeltaScript([CopyCommand(2, 0, 6)], version_length=6)
+        composed = compose_scripts(d1, d2)
+        assert composed.commands == [CopyCommand(12, 0, 6)]
+
+    def test_copy_through_add(self):
+        d1 = DeltaScript([AddCommand(0, b"HELLOWORLD")], version_length=10)
+        d2 = DeltaScript([CopyCommand(5, 0, 5)], version_length=5)
+        composed = compose_scripts(d1, d2)
+        assert composed.commands == [AddCommand(0, b"WORLD")]
+
+    def test_read_spanning_boundary_splits_then_coalesces(self):
+        # d1: two adjacent copies with non-contiguous sources.
+        d1 = DeltaScript(
+            [CopyCommand(50, 0, 5), CopyCommand(90, 5, 5)], version_length=10
+        )
+        d2 = DeltaScript([CopyCommand(3, 0, 4)], version_length=4)
+        composed = compose_scripts(d1, d2)
+        assert composed.commands == [CopyCommand(53, 0, 2), CopyCommand(90, 2, 2)]
+
+    def test_adjacent_fragments_coalesce(self):
+        # d1 splits contiguous source into two adjacent copies; a read
+        # across them should merge back into one command.
+        d1 = DeltaScript(
+            [CopyCommand(20, 0, 5), CopyCommand(25, 5, 5)], version_length=10
+        )
+        d2 = DeltaScript([CopyCommand(0, 0, 10)], version_length=10)
+        composed = compose_scripts(d1, d2)
+        assert composed.commands == [CopyCommand(20, 0, 10)]
+
+    def test_second_adds_pass_through(self):
+        d1 = DeltaScript([CopyCommand(0, 0, 4)], version_length=4)
+        d2 = DeltaScript(
+            [CopyCommand(0, 0, 4), AddCommand(4, b"new")], version_length=7
+        )
+        composed = compose_scripts(d1, d2)
+        assert AddCommand(4, b"new") in composed.commands
+
+    def test_hole_in_first_delta_raises(self):
+        gappy = DeltaScript([CopyCommand(0, 5, 5)], version_length=10)
+        d2 = DeltaScript([CopyCommand(2, 0, 6)], version_length=6)
+        with pytest.raises(DeltaRangeError):
+            compose_scripts(gappy, d2)
+
+    def test_read_past_first_version_raises(self):
+        d1 = DeltaScript([CopyCommand(0, 0, 4)], version_length=4)
+        d2 = DeltaScript([CopyCommand(2, 0, 6)], version_length=6)
+        with pytest.raises(DeltaRangeError):
+            compose_scripts(d1, d2)
+
+    def test_scratch_scripts_rejected(self):
+        from repro.core.commands import FillCommand, SpillCommand
+
+        scratchy = DeltaScript(
+            [SpillCommand(0, 0, 4), CopyCommand(4, 0, 4), FillCommand(0, 4, 4)],
+            version_length=8,
+        )
+        plain = DeltaScript([CopyCommand(0, 0, 8)], version_length=8)
+        with pytest.raises(ReproError):
+            compose_scripts(scratchy, plain)
+        with pytest.raises(ReproError):
+            compose_scripts(plain, scratchy)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            compose_chain([])
+
+
+class TestComposeEquivalence:
+    def chain(self, rng, releases=4, size=4_000):
+        versions = [rng.randbytes(size)]
+        for _ in range(releases - 1):
+            versions.append(mutate(versions[-1], rng))
+        deltas = [
+            repro.diff(a, b) for a, b in zip(versions, versions[1:])
+        ]
+        return versions, deltas
+
+    def test_two_step(self, rng):
+        versions, deltas = self.chain(rng, releases=3)
+        composed = compose_scripts(deltas[0], deltas[1])
+        composed.validate(reference_length=len(versions[0]))
+        assert apply_delta(composed, versions[0]) == versions[2]
+
+    def test_long_chain(self, rng):
+        versions, deltas = self.chain(rng, releases=6, size=2_500)
+        composed = compose_chain(deltas)
+        assert apply_delta(composed, versions[0]) == versions[-1]
+
+    def test_composed_delta_converts_in_place(self, rng):
+        versions, deltas = self.chain(rng, releases=3)
+        composed = compose_chain(deltas)
+        result = make_in_place(composed, versions[0])
+        buf = bytearray(versions[0])
+        apply_in_place(result.script, buf, strict=True)
+        assert bytes(buf) == versions[-1]
+
+    def test_associativity(self, rng):
+        versions, deltas = self.chain(rng, releases=4, size=2_000)
+        left = compose_scripts(compose_scripts(deltas[0], deltas[1]), deltas[2])
+        right = compose_scripts(deltas[0], compose_scripts(deltas[1], deltas[2]))
+        v0 = versions[0]
+        assert apply_delta(left, v0) == apply_delta(right, v0) == versions[3]
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_property_compose_equals_sequential(self, seed):
+        rng = random.Random(seed)
+        v0 = rng.randbytes(rng.randint(32, 1_200))
+        v1 = mutate(v0, rng)
+        v2 = mutate(v1, rng)
+        d1 = repro.diff(v0, v1)
+        d2 = repro.diff(v1, v2)
+        composed = compose_scripts(d1, d2)
+        assert apply_delta(composed, v0) == v2
+
+    def test_composed_no_larger_than_naive_concatenation(self, rng):
+        """Composed payload must beat shipping both deltas."""
+        from repro.delta import FORMAT_SEQUENTIAL, encoded_size
+
+        versions, deltas = self.chain(rng, releases=3)
+        composed = compose_chain(deltas)
+        assert encoded_size(composed, FORMAT_SEQUENTIAL) <= \
+            sum(encoded_size(d, FORMAT_SEQUENTIAL) for d in deltas) * 1.05
+
+
+class TestComposeWithPipeline:
+    def test_composed_then_scratch_converted(self, rng):
+        """Compose plain deltas, then convert with scratch: full pipeline."""
+        from repro.delta import FORMAT_INPLACE, encode_delta
+
+        v0 = rng.randbytes(3_000)
+        v1 = v0[1500:] + v0[:1500]      # swap: cycles in each step
+        v2 = v1[700:] + v1[:700]
+        d1 = repro.diff(v0, v1)
+        d2 = repro.diff(v1, v2)
+        composed = compose_scripts(d1, d2)
+        result = make_in_place(composed, v0, scratch_budget=1 << 14)
+        payload = encode_delta(result.script, FORMAT_INPLACE)
+        from repro.delta.stream import apply_delta_stream
+
+        buf = bytearray(v0)
+        apply_delta_stream(payload, buf, strict=True)
+        assert bytes(buf) == v2
+
+    def test_compose_via_bundle_chain(self, rng):
+        """Composition is what lets a bundle server skip intermediates."""
+        from repro.delta import FORMAT_SEQUENTIAL, encoded_size
+
+        v0 = rng.randbytes(4_000)
+        versions = [v0]
+        for _ in range(3):
+            versions.append(mutate(versions[-1], rng))
+        deltas = [repro.diff(a, b) for a, b in zip(versions, versions[1:])]
+        folded = compose_chain(deltas)
+        direct = repro.diff(versions[0], versions[-1])
+        # Composition should land within 2x of a direct recompute.
+        assert encoded_size(folded, FORMAT_SEQUENTIAL) <= \
+            2 * encoded_size(direct, FORMAT_SEQUENTIAL) + 64

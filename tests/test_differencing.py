@@ -1,0 +1,172 @@
+"""Unit tests for the three differencing algorithms (repro.delta.*).
+
+Each algorithm must satisfy the round-trip contract (I1 in DESIGN.md) on
+every input; the per-algorithm classes then pin down the behaviours that
+distinguish them (greedy's longest-match selection, onepass's constant
+tables, correcting's backward extension).
+"""
+
+import random
+
+import pytest
+
+from repro.core.apply import apply_delta
+from repro.core.commands import AddCommand, CopyCommand
+from repro.delta import correcting_delta, greedy_delta, onepass_delta
+from repro.workloads import mutate
+
+ALL = [greedy_delta, onepass_delta, correcting_delta]
+
+
+@pytest.mark.parametrize("differ", ALL)
+class TestRoundTripContract:
+    def test_identical_files(self, differ):
+        data = b"identical content here, longer than one seed window."
+        script = differ(data, data)
+        assert apply_delta(script, data) == data
+        # One big copy (possibly after coalescing) should dominate.
+        assert script.added_bytes == 0
+
+    def test_empty_version(self, differ):
+        script = differ(b"some reference", b"")
+        assert apply_delta(script, b"some reference") == b""
+
+    def test_empty_reference(self, differ):
+        ver = b"brand new content"
+        script = differ(b"", ver)
+        assert apply_delta(script, b"") == ver
+        assert script.copied_bytes == 0
+
+    def test_disjoint_content(self, differ, rng):
+        ref = rng.randbytes(500)
+        ver = rng.randbytes(500)
+        script = differ(ref, ver)
+        assert apply_delta(script, ref) == ver
+
+    def test_insertion(self, differ, rng):
+        ref = rng.randbytes(2000)
+        ver = ref[:900] + b"INSERTED-PAYLOAD" * 4 + ref[900:]
+        script = differ(ref, ver)
+        assert apply_delta(script, ref) == ver
+        assert script.copied_bytes >= 1500
+
+    def test_deletion(self, differ, rng):
+        ref = rng.randbytes(2000)
+        ver = ref[:600] + ref[1000:]
+        script = differ(ref, ver)
+        assert apply_delta(script, ref) == ver
+        assert script.copied_bytes >= 1200
+
+    def test_short_inputs(self, differ):
+        for ref, ver in [(b"a", b"b"), (b"", b"x"), (b"ab", b"ab"), (b"abc", b"")]:
+            assert apply_delta(differ(ref, ver), ref) == ver
+
+    def test_mutated_corpus_files(self, differ, rng):
+        ref = rng.randbytes(5000)
+        for _ in range(3):
+            ver = mutate(ref, rng)
+            script = differ(ref, ver)
+            script.validate(reference_length=len(ref))
+            assert apply_delta(script, ref) == ver
+
+    def test_write_intervals_tile_version(self, differ, sample_pair):
+        ref, ver = sample_pair
+        script = differ(ref, ver)
+        cursor = 0
+        for cmd in script.commands:
+            assert cmd.write_interval.start == cursor
+            cursor = cmd.write_interval.stop + 1
+        assert cursor == len(ver)
+
+    def test_bad_seed_length(self, differ):
+        with pytest.raises(ValueError):
+            differ(b"abc", b"abc", seed_length=0)
+
+
+class TestGreedySpecifics:
+    def test_picks_longest_candidate(self):
+        # Reference holds a short and a long occurrence of the version
+        # prefix; greedy must copy from the long one.
+        common = bytes(range(16))
+        long_match = common + b"0123456789"
+        ref = common + b"ZZZZ" + long_match
+        ver = long_match
+        script = greedy_delta(ref, ver)
+        copies = script.copies()
+        assert copies[0].length == len(long_match)
+        assert copies[0].src == len(common) + 4
+
+    def test_transposed_blocks_fully_copied(self, rng):
+        # Greedy indexes the whole reference, so a transposition costs
+        # nothing in added bytes.
+        a, b = rng.randbytes(600), rng.randbytes(600)
+        script = greedy_delta(a + b, b + a)
+        assert script.added_bytes == 0
+
+    def test_max_candidates_still_correct(self, rng):
+        ref = (b"\x01\x02\x03\x04" * 400)
+        ver = ref[100:500] + b"tail"
+        script = greedy_delta(ref, ver, max_candidates=2)
+        assert apply_delta(script, ref) == ver
+
+
+class TestOnepassSpecifics:
+    def test_constant_table_size_respected(self, rng):
+        ref = rng.randbytes(3000)
+        ver = mutate(ref, rng)
+        script = onepass_delta(ref, ver, table_size=128)
+        assert apply_delta(script, ref) == ver
+
+    def test_symmetric_detection(self, rng):
+        # A match the version cursor reaches *before* the reference cursor
+        # (late reference data matching early version data) is found via
+        # the version table.
+        tail = rng.randbytes(800)
+        ref = rng.randbytes(800) + tail
+        ver = tail + rng.randbytes(100)
+        script = onepass_delta(ref, ver)
+        assert apply_delta(script, ref) == ver
+        assert script.copied_bytes >= 700
+
+    def test_misses_transposition_that_greedy_finds(self, rng):
+        # The documented compression trade of the one-pass algorithm:
+        # after both cursors pass a region, matches into it are lost.
+        a, b = rng.randbytes(2000), rng.randbytes(2000)
+        one = onepass_delta(a + b, b + a)
+        greedy = greedy_delta(a + b, b + a)
+        assert apply_delta(one, a + b) == b + a
+        assert one.added_bytes >= greedy.added_bytes
+
+
+class TestCorrectingSpecifics:
+    def test_backward_extension_recovers_prefix(self, rng):
+        # Plant a long common string whose only surviving seed hash sits
+        # mid-string: the 1.5-pass algorithm must extend backwards over
+        # pending literals to recover the front of the match.
+        common = rng.randbytes(1000)
+        ref = common
+        ver = b"N" * 7 + common  # 7-byte novel prefix, then the match
+        script = correcting_delta(ref, ver, seed_length=16)
+        assert apply_delta(script, ref) == ver
+        copies = script.copies()
+        assert copies, "expected the common string to be copied"
+        # Backward extension means the copy starts at version offset 7,
+        # not at the first seed boundary after it.
+        assert copies[0].dst == 7
+        assert copies[0].length == 1000
+
+    def test_constant_space_table(self, rng):
+        ref = rng.randbytes(4000)
+        ver = mutate(ref, rng)
+        script = correcting_delta(ref, ver, table_size=64)
+        assert apply_delta(script, ref) == ver
+
+    def test_compression_close_to_greedy_on_edits(self, rng):
+        ref = rng.randbytes(6000)
+        ver = mutate(ref, rng)
+        corr = correcting_delta(ref, ver)
+        greedy = greedy_delta(ref, ver)
+        # Correction should land within 25% of greedy's added bytes on
+        # plain edit workloads (no transpositions stressed here).
+        assert corr.added_bytes <= max(greedy.added_bytes * 1.25,
+                                       greedy.added_bytes + 64)

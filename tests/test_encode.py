@@ -1,0 +1,153 @@
+"""Unit tests for the delta wire formats (repro.delta.encode)."""
+
+import pytest
+
+from repro.core.apply import apply_delta
+from repro.core.commands import AddCommand, CopyCommand, DeltaScript
+from repro.delta import correcting_delta
+from repro.delta.encode import (
+    ALL_FORMATS,
+    FORMAT_INPLACE,
+    FORMAT_INPLACE_FIXED,
+    FORMAT_SEQUENTIAL,
+    FORMAT_SEQUENTIAL_FIXED,
+    MAX_ADD_CHUNK,
+    decode_delta,
+    encode_delta,
+    encoded_size,
+    version_checksum,
+)
+from repro.exceptions import DeltaFormatError
+from repro.workloads import mutate
+
+
+def sample_script() -> DeltaScript:
+    return DeltaScript(
+        [CopyCommand(100, 0, 40), AddCommand(40, b"A" * 10), CopyCommand(0, 50, 30)],
+        version_length=80,
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_sample_script(self, fmt):
+        script = sample_script()
+        payload = encode_delta(script, fmt)
+        decoded, header = decode_delta(payload)
+        assert header.format == fmt
+        assert header.version_length == 80
+        assert decoded.version_length == 80
+        # Command-for-command equality modulo add splitting (none here).
+        assert decoded.commands == script.commands
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_real_delta(self, fmt, sample_pair):
+        ref, ver = sample_pair
+        script = correcting_delta(ref, ver)
+        payload = encode_delta(script, fmt, version_crc32=version_checksum(ver))
+        decoded, header = decode_delta(payload)
+        assert apply_delta(decoded, ref) == ver
+        assert header.version_crc32 == version_checksum(ver)
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_long_add_split_and_reassembled(self, fmt):
+        script = DeltaScript([AddCommand(0, bytes(1000))], version_length=1000)
+        payload = encode_delta(script, fmt)
+        decoded, _ = decode_delta(payload)
+        adds = decoded.adds()
+        assert len(adds) == 4  # 255 + 255 + 255 + 235
+        assert all(a.length <= MAX_ADD_CHUNK for a in adds)
+        assert apply_delta(decoded, b"") == bytes(1000)
+
+    def test_inplace_preserves_command_order(self):
+        # The converter's permutation is the whole point: out-of-write-order
+        # command sequences must survive serialization exactly.
+        script = DeltaScript(
+            [CopyCommand(0, 50, 30), CopyCommand(100, 0, 40), AddCommand(40, b"x" * 10)],
+            version_length=80,
+        )
+        decoded, _ = decode_delta(encode_delta(script, FORMAT_INPLACE))
+        assert [c.dst for c in decoded.commands] == [50, 0, 40]
+
+    def test_sequential_requires_contiguous_tiling(self):
+        gappy = DeltaScript([CopyCommand(0, 10, 5)], version_length=20)
+        with pytest.raises(DeltaFormatError):
+            encode_delta(gappy, FORMAT_SEQUENTIAL)
+
+    def test_sequential_sorts_for_you(self):
+        script = DeltaScript(
+            [CopyCommand(0, 50, 30), CopyCommand(100, 0, 50)], version_length=80
+        )
+        decoded, _ = decode_delta(encode_delta(script, FORMAT_SEQUENTIAL))
+        assert [c.dst for c in decoded.commands] == [0, 50]
+
+
+class TestEncodedSize:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_matches_encoder(self, fmt, sample_pair):
+        ref, ver = sample_pair
+        script = correcting_delta(ref, ver)
+        assert encoded_size(script, fmt) == len(encode_delta(script, fmt))
+
+    def test_offsets_cost_more(self):
+        script = sample_script()
+        assert encoded_size(script, FORMAT_INPLACE) > encoded_size(script, FORMAT_SEQUENTIAL)
+        assert encoded_size(script, FORMAT_INPLACE_FIXED) > \
+            encoded_size(script, FORMAT_SEQUENTIAL_FIXED)
+
+    def test_fixed_costs_more_than_varint(self):
+        script = sample_script()
+        assert encoded_size(script, FORMAT_SEQUENTIAL_FIXED) > \
+            encoded_size(script, FORMAT_SEQUENTIAL)
+
+    def test_unknown_format(self):
+        with pytest.raises(DeltaFormatError):
+            encoded_size(sample_script(), 99)
+
+
+class TestMalformedInput:
+    def test_bad_magic(self):
+        with pytest.raises(DeltaFormatError):
+            decode_delta(b"NOPE" + bytes(20))
+
+    def test_unknown_format_byte(self):
+        payload = bytearray(encode_delta(sample_script(), FORMAT_INPLACE))
+        payload[4] = 42
+        with pytest.raises(DeltaFormatError):
+            decode_delta(bytes(payload))
+
+    def test_truncated_everywhere(self):
+        payload = encode_delta(sample_script(), FORMAT_INPLACE)
+        for cut in range(len(payload) - 1):
+            with pytest.raises(DeltaFormatError):
+                decode_delta(payload[:cut])
+
+    def test_missing_end_opcode(self):
+        payload = encode_delta(sample_script(), FORMAT_INPLACE)
+        with pytest.raises(DeltaFormatError):
+            decode_delta(payload[:-1])
+
+    def test_unknown_opcode(self):
+        payload = bytearray(encode_delta(DeltaScript([], 0), FORMAT_INPLACE))
+        payload[-1] = 0x77  # replace OP_END with junk
+        payload.append(0x00)
+        with pytest.raises(DeltaFormatError):
+            decode_delta(bytes(payload))
+
+    def test_zero_length_commands_rejected(self):
+        # Hand-craft a copy with length 0.
+        good = encode_delta(DeltaScript([], 4), FORMAT_INPLACE)
+        body = good[:-1] + bytes([0x02, 0, 0, 0]) + b"\x00"
+        with pytest.raises(DeltaFormatError):
+            decode_delta(body)
+
+    def test_fixed_value_overflow(self):
+        script = DeltaScript([CopyCommand(1 << 33, 0, 4)], version_length=4)
+        with pytest.raises(DeltaFormatError):
+            encode_delta(script, FORMAT_INPLACE_FIXED)
+
+
+class TestChecksum:
+    def test_checksum_stability(self):
+        assert version_checksum(b"abc") == version_checksum(b"abc")
+        assert version_checksum(b"abc") != version_checksum(b"abd")

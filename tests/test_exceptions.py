@@ -1,0 +1,71 @@
+"""Tests for the exception hierarchy (repro.exceptions).
+
+Callers rely on two contracts: every library failure is a
+:class:`ReproError`, and the subtype taxonomy distinguishes format,
+range, safety, and device failures so handlers can be precise.
+"""
+
+import pytest
+
+from repro import exceptions as exc
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in dir(exc):
+            obj = getattr(exc, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj.__module__ == "repro.exceptions":
+                assert issubclass(obj, exc.ReproError), name
+
+    def test_device_family(self):
+        for sub in (exc.OutOfMemoryError, exc.StorageBoundsError,
+                    exc.TransmissionError):
+            assert issubclass(sub, exc.DeviceError)
+
+    def test_power_failure_is_a_device_error(self):
+        from repro.device.journal import PowerFailureError
+
+        assert issubclass(PowerFailureError, exc.DeviceError)
+
+    def test_wear_limit_is_a_device_error(self):
+        from repro.device.flash import WearLimitExceeded
+
+        assert issubclass(WearLimitExceeded, exc.DeviceError)
+
+    def test_out_of_memory_shadows_builtin_safely(self):
+        # Our OutOfMemoryError is intentionally distinct from the
+        # built-in MemoryError: it reports a *simulated* budget.
+        assert not issubclass(exc.OutOfMemoryError, MemoryError)
+
+
+class TestErrorPayloads:
+    def test_write_before_read_carries_positions(self):
+        err = exc.WriteBeforeReadError("boom", writer_index=3, reader_index=7)
+        assert err.writer_index == 3
+        assert err.reader_index == 7
+
+    def test_write_before_read_defaults(self):
+        err = exc.WriteBeforeReadError("boom")
+        assert err.writer_index == -1
+        assert err.reader_index == -1
+
+    def test_incomplete_cover_carries_gaps(self):
+        err = exc.IncompleteCoverError("gaps", gaps=[(0, 4), (10, 12)])
+        assert err.gaps == [(0, 4), (10, 12)]
+        assert exc.IncompleteCoverError("no info").gaps == []
+
+
+class TestCatchability:
+    def test_one_except_clause_covers_the_stack(self, rng):
+        """The blanket contract: ReproError catches any library failure."""
+        import repro
+        from repro.delta import decode_delta
+
+        failures = 0
+        for bad in (b"", b"garbage", b"IPD1\x09" + bytes(20)):
+            try:
+                decode_delta(bad)
+            except exc.ReproError:
+                failures += 1
+        assert failures == 3

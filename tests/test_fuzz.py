@@ -1,0 +1,162 @@
+"""Failure injection: corrupted payloads must fail safely.
+
+A device in the field receives bytes from a hostile world.  Whatever
+arrives, the stack must either (a) raise a typed :class:`ReproError`
+subtype, or (b) complete and be caught by the end-to-end checksum — it
+must never crash with an untyped exception and never report success
+with a wrong image.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.delta import (
+    FORMAT_INPLACE,
+    FORMAT_SEQUENTIAL,
+    decode_delta,
+    encode_delta,
+    version_checksum,
+)
+from repro.delta.stream import iter_delta_commands
+from repro.device import ConstrainedDevice
+from repro.exceptions import ReproError
+from repro.workloads import make_binary_blob, mutate
+
+ROUNDS = 120
+
+
+@pytest.fixture(scope="module")
+def update_case():
+    rng = random.Random(99)
+    old = make_binary_blob(rng, 12_000)
+    new = mutate(old, rng)
+    result = repro.diff_in_place(old, new)
+    payload = encode_delta(result.script, FORMAT_INPLACE,
+                           version_crc32=version_checksum(new))
+    return old, new, payload
+
+
+def _corrupt(payload: bytes, rng: random.Random) -> bytes:
+    """One of: bit flip, byte overwrite, deletion, insertion, splice."""
+    mode = rng.randrange(5)
+    data = bytearray(payload)
+    if not data:
+        return b"\x00"
+    pos = rng.randrange(len(data))
+    if mode == 0:
+        data[pos] ^= 1 << rng.randrange(8)
+    elif mode == 1:
+        data[pos] = rng.randrange(256)
+    elif mode == 2:
+        del data[pos:pos + rng.randint(1, 16)]
+    elif mode == 3:
+        data[pos:pos] = rng.randbytes(rng.randint(1, 16))
+    else:
+        cut = rng.randrange(len(data))
+        data = data[cut:] + data[:cut]
+    return bytes(data)
+
+
+class TestCorruptedPayloads:
+    def test_decode_never_crashes_untyped(self, update_case):
+        _old, _new, payload = update_case
+        rng = random.Random(1)
+        for _ in range(ROUNDS):
+            mangled = _corrupt(payload, rng)
+            try:
+                decode_delta(mangled)
+            except ReproError:
+                pass  # typed failure: fine
+
+    def test_streaming_decode_never_crashes_untyped(self, update_case):
+        _old, _new, payload = update_case
+        rng = random.Random(2)
+        for _ in range(ROUNDS):
+            mangled = _corrupt(payload, rng)
+            try:
+                _header, commands = iter_delta_commands(mangled)
+                for _ in commands:
+                    pass
+            except ReproError:
+                pass
+
+    def test_device_never_accepts_wrong_image(self, update_case):
+        old, new, payload = update_case
+        rng = random.Random(3)
+        accepted_correct = 0
+        for _ in range(ROUNDS):
+            mangled = _corrupt(payload, rng)
+            device = ConstrainedDevice(old, ram=len(payload) * 2 + 64 * 1024,
+                                       storage_limit=len(old) * 4)
+            try:
+                device.apply_delta_in_place(mangled)
+            except ReproError:
+                continue  # typed rejection
+            # Applied without error: the checksum must have held, which
+            # means the image is exactly the intended new version.
+            assert device.image == new
+            accepted_correct += 1
+        # Sanity: an unchanged payload still works after all that.
+        device = ConstrainedDevice(old, ram=len(payload) * 2 + 64 * 1024)
+        device.apply_delta_in_place(payload)
+        assert device.image == new
+
+    def test_two_space_device_image_never_corrupted(self, update_case):
+        """Two-space application must leave the image untouched on failure."""
+        old, new, payload = update_case
+        seq_script = repro.diff(old, new)
+        seq_payload = encode_delta(seq_script, FORMAT_SEQUENTIAL,
+                                   version_crc32=version_checksum(new))
+        rng = random.Random(4)
+        for _ in range(ROUNDS):
+            mangled = _corrupt(seq_payload, rng)
+            device = ConstrainedDevice(old, ram=len(old) * 8 + 1 << 20,
+                                       storage_limit=len(old) * 8)
+            try:
+                device.apply_delta_two_space(mangled)
+            except ReproError:
+                assert device.image == old  # nothing committed
+            else:
+                assert device.image == new
+
+    def test_ram_accounting_survives_failures(self, update_case):
+        """Every failure path must release all device RAM."""
+        old, _new, payload = update_case
+        rng = random.Random(5)
+        device = ConstrainedDevice(old, ram=len(payload) * 2 + 64 * 1024,
+                                   storage_limit=len(old) * 4)
+        for _ in range(ROUNDS):
+            try:
+                device.apply_delta_in_place(_corrupt(payload, rng))
+            except ReproError:
+                pass
+            assert device.ram.in_use == 0
+
+
+class TestHostileScripts:
+    def test_decoded_scripts_validate_or_raise(self, update_case):
+        """decode + validate rejects structurally broken scripts with
+        typed errors, whatever the bytes were."""
+        _old, _new, payload = update_case
+        rng = random.Random(6)
+        for _ in range(ROUNDS):
+            mangled = _corrupt(payload, rng)
+            try:
+                script, header = decode_delta(mangled)
+                script.validate(reference_length=1 << 20)
+            except ReproError:
+                pass
+
+    def test_giant_version_length_is_bounded_by_storage(self, update_case):
+        """A corrupted header demanding a huge version must be rejected
+        before allocation, not attempted."""
+        old, _new, payload = update_case
+        script, _ = decode_delta(payload)
+        huge = encode_delta(
+            repro.DeltaScript(script.commands, (1 << 40)), FORMAT_INPLACE
+        )
+        device = ConstrainedDevice(old, ram=1 << 20, storage_limit=1 << 20)
+        with pytest.raises(ReproError):
+            device.apply_delta_in_place(huge)

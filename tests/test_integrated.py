@@ -1,0 +1,96 @@
+"""Tests for integrated in-place generation (repro.core.integrated).
+
+The paper claims the conversion "integrates easily into a compression
+algorithm so that an in-place reconstructible file may be output
+directly"; these tests pin the integrated path to byte-identical output
+with the post-processing path.
+"""
+
+import pytest
+
+import repro
+from repro.core.apply import apply_in_place
+from repro.core.convert import make_in_place
+from repro.core.integrated import InPlaceDeltaBuilder, diff_in_place_integrated
+from repro.core.verify import is_in_place_safe
+from repro.delta import FORMAT_INPLACE, correcting_delta, encode_delta
+
+
+class TestBuilder:
+    def test_feeds_and_finishes(self):
+        builder = InPlaceDeltaBuilder()
+        builder.add_copy(10, 0, 5)
+        builder.add_literal(5, b"xyz")
+        builder.add_copy(0, 8, 4)
+        result = builder.finish(b"0123456789abcdef")
+        assert result.script.version_length == 12
+        assert is_in_place_safe(result.script)
+
+    def test_rejects_out_of_order_writes(self):
+        builder = InPlaceDeltaBuilder()
+        builder.add_copy(0, 4, 4)
+        with pytest.raises(ValueError):
+            builder.add_copy(0, 0, 4)
+        with pytest.raises(ValueError):
+            builder.add_literal(2, b"ab")
+
+    def test_gaps_allowed(self):
+        # Write order only requires non-decreasing offsets; gaps are the
+        # caller's business (validate() would flag them).
+        builder = InPlaceDeltaBuilder()
+        builder.add_copy(0, 0, 4)
+        builder.add_copy(0, 10, 4)
+        assert builder.version_length == 14
+
+    def test_feed_rejects_scratch_commands(self):
+        from repro.core.commands import SpillCommand
+
+        builder = InPlaceDeltaBuilder()
+        with pytest.raises(TypeError):
+            builder.feed(SpillCommand(0, 0, 4))
+
+    def test_empty(self):
+        result = InPlaceDeltaBuilder().finish()
+        assert result.script.commands == []
+        assert result.report.evicted_count == 0
+
+
+class TestEquivalenceWithPostProcessing:
+    @pytest.mark.parametrize("policy", ["constant", "local-min"])
+    def test_identical_scripts(self, policy, sample_pair):
+        ref, ver = sample_pair
+        script = correcting_delta(ref, ver)
+        post = make_in_place(script, ref, policy=policy)
+        integrated = diff_in_place_integrated(ref, ver, policy=policy)
+        assert integrated.script == post.script
+        assert encode_delta(integrated.script, FORMAT_INPLACE) == \
+            encode_delta(post.script, FORMAT_INPLACE)
+
+    def test_identical_reports(self, sample_pair):
+        ref, ver = sample_pair
+        script = correcting_delta(ref, ver)
+        post = make_in_place(script, ref).report
+        integrated = diff_in_place_integrated(ref, ver).report
+        for field in ("copies_in", "adds_in", "evicted_count", "evicted_bytes",
+                      "eviction_cost", "crwi_vertices", "crwi_edges",
+                      "cycles_found", "spilled_count", "scratch_used"):
+            assert getattr(integrated, field) == getattr(post, field), field
+
+    def test_with_scratch_budget(self, rng):
+        ref = rng.randbytes(3000)
+        ver = ref[1500:] + ref[:1500]
+        post = make_in_place(correcting_delta(ref, ver), ref, scratch_budget=4096)
+        integrated = diff_in_place_integrated(ref, ver, scratch_budget=4096)
+        assert integrated.script == post.script
+
+    @pytest.mark.parametrize("algorithm", ["greedy", "onepass", "correcting"])
+    def test_round_trip_all_algorithms(self, algorithm, sample_pair):
+        ref, ver = sample_pair
+        result = diff_in_place_integrated(ref, ver, algorithm=algorithm)
+        buf = bytearray(ref)
+        apply_in_place(result.script, buf, strict=True)
+        assert bytes(buf) == ver
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            diff_in_place_integrated(b"a", b"b", algorithm="psychic")

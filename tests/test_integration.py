@@ -1,0 +1,138 @@
+"""Cross-module integration tests: the paper's pipeline end to end.
+
+Each test exercises a complete scenario through the public API — server
+diffs, wire encoding, channel transfer, constrained-device in-place
+reconstruction — rather than any single module.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.analysis import aggregate, measure_pair
+from repro.core.verify import count_wr_conflicts
+from repro.delta import FORMAT_INPLACE, encode_delta, version_checksum
+from repro.device import ConstrainedDevice, UpdateServer, get_channel, run_update
+from repro.workloads import Corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return Corpus(seed=42, packages=2, releases=3, scale=0.15)
+
+
+class TestCorpusPipeline:
+    def test_every_pair_full_pipeline(self, corpus):
+        """Diff -> convert -> encode -> decode -> in-place apply, per file."""
+        for pair in corpus.pairs():
+            result = repro.diff_in_place(pair.reference, pair.version)
+            payload = encode_delta(
+                result.script, FORMAT_INPLACE,
+                version_crc32=version_checksum(pair.version),
+            )
+            buf = bytearray(pair.reference)
+            repro.patch_in_place(buf, payload)
+            assert bytes(buf) == pair.version, pair.name
+
+    def test_conversion_drives_conflicts_to_zero(self, corpus):
+        before = after = 0
+        for pair in corpus.pairs():
+            script = repro.diff(pair.reference, pair.version)
+            before += count_wr_conflicts(script)
+            after += count_wr_conflicts(
+                repro.make_in_place(script, pair.reference).script
+            )
+        assert after == 0
+        assert before >= 0  # sequential scripts are often conflict-free
+
+    def test_table1_shape(self, corpus):
+        """The qualitative Table 1 ordering must hold on any corpus:
+        seq <= offsets <= in-place(local-min) <= in-place(constant)."""
+        summary = aggregate(
+            measure_pair(p.name, p.reference, p.version) for p in corpus.pairs()
+        )
+        assert summary.compression_sequential <= summary.compression_offsets
+        assert summary.compression_offsets <= \
+            summary.compression_in_place["local-min"] + 1e-9
+        assert summary.compression_in_place["local-min"] <= \
+            summary.compression_in_place["constant"] + 1e-9
+        assert summary.encoding_loss >= 0
+        assert summary.cycle_loss["local-min"] >= 0
+
+
+class TestDeviceFleet:
+    def test_mixed_fleet_update(self, corpus):
+        """Distribute one package's new release to devices of varying RAM."""
+        pair = next(p for p in corpus.pairs() if p.kind == "binary")
+        server = UpdateServer()
+        server.publish("app", pair.reference)
+        server.publish("app", pair.version)
+        channel = get_channel("modem-28.8k")
+
+        # RAM below the new version's size, but enough for the payload
+        # plus the in-place copy window.
+        tiny = ConstrainedDevice(pair.reference, ram=len(pair.version) - 1024,
+                                 copy_window=2048, name="tiny")
+        roomy = ConstrainedDevice(
+            pair.reference, ram=len(pair.version) * 2 + 64 * 1024, name="roomy"
+        )
+        # Tiny device: only the in-place strategy works.
+        assert not run_update(server, tiny, channel, "app", have=0,
+                              strategy="delta").succeeded
+        assert run_update(server, tiny, channel, "app", have=0,
+                          strategy="in-place").succeeded
+        assert tiny.image == pair.version
+        # Roomy device: both work.
+        assert run_update(server, roomy, channel, "app", have=0,
+                          strategy="delta").succeeded
+
+    def test_transfer_time_savings(self, corpus):
+        """Intro claim: delta transfer is several times faster than full."""
+        server = UpdateServer()
+        pair = max(corpus.pairs(), key=lambda p: len(p.version))
+        server.publish("pkg", pair.reference)
+        server.publish("pkg", pair.version)
+        channel = get_channel("cellular-9.6k")
+        device = ConstrainedDevice(pair.reference, ram=64 * 1024)
+        outcome = run_update(server, device, channel, "pkg", have=0,
+                             strategy="in-place")
+        full_time = channel.transfer_time(len(pair.version))
+        assert outcome.succeeded
+        assert outcome.transfer_seconds < full_time / 2
+
+
+class TestCrossAlgorithmConsistency:
+    def test_all_engines_reconstruct_identically(self, corpus):
+        pair = next(corpus.pairs())
+        outputs = set()
+        for algorithm in repro.ALGORITHMS:
+            script = repro.diff(pair.reference, pair.version, algorithm=algorithm)
+            outputs.add(repro.apply_delta(script, pair.reference))
+        assert outputs == {pair.version}
+
+    def test_greedy_never_adds_more_than_onepass(self, corpus):
+        """Greedy's exhaustive index should never lose to the FCFS tables
+        by a wide margin across a whole corpus (aggregate, not per file)."""
+        greedy_total = onepass_total = 0
+        for pair in corpus.pairs():
+            greedy_total += repro.diff(pair.reference, pair.version,
+                                       algorithm="greedy").added_bytes
+            onepass_total += repro.diff(pair.reference, pair.version,
+                                        algorithm="onepass").added_bytes
+        assert greedy_total <= onepass_total * 1.05
+
+
+class TestGrowShrinkInPlace:
+    @pytest.mark.parametrize("delta_len", [-500, 0, 700])
+    def test_version_length_changes(self, delta_len, rng):
+        reference = rng.randbytes(3_000)
+        if delta_len >= 0:
+            version = reference[:1500] + rng.randbytes(delta_len) + reference[1500:]
+        else:
+            version = reference[:1500 + delta_len] + reference[1500:]
+        result = repro.diff_in_place(reference, version)
+        buf = bytearray(reference)
+        repro.apply_in_place(result.script, buf, strict=True)
+        assert bytes(buf) == version
+        assert len(buf) == len(version)

@@ -1,0 +1,220 @@
+"""Crash-safety tests for the journaled in-place applier.
+
+The harness kills the power at *every* possible write boundary (and in
+the middle of writes — partial slice writes land) and verifies the patch
+always resumes to exactly the right image.  This is the strongest test
+in the suite: it sweeps thousands of crash points over scripts that
+exercise self-overlapping copies, spills, fills, growth, and shrinkage.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.core.commands import AddCommand, CopyCommand, DeltaScript
+from repro.device.journal import (
+    CrashingStorage,
+    Journal,
+    JournaledApplier,
+    PowerFailureError,
+    apply_with_power_failures,
+)
+from repro.exceptions import ReproError
+from repro.workloads import mutate
+
+
+def run_clean(script, reference) -> bytes:
+    """Apply with no crashes through the journaled path."""
+    return apply_with_power_failures(script, reference, [None])
+
+
+class TestCrashingStorage:
+    def test_partial_write_lands_prefix(self):
+        storage = CrashingStorage(b"00000000", fuel=3)
+        with pytest.raises(PowerFailureError):
+            storage[0:6] = b"ABCDEF"
+        assert storage.snapshot() == b"ABC00000"
+
+    def test_fuel_none_never_crashes(self):
+        storage = CrashingStorage(b"0000")
+        storage[0:4] = b"abcd"
+        assert storage.snapshot() == b"abcd"
+        assert storage.bytes_written == 4
+
+    def test_single_byte_write(self):
+        storage = CrashingStorage(b"0000", fuel=0)
+        with pytest.raises(PowerFailureError):
+            storage[1] = 65
+
+    def test_resize(self):
+        storage = CrashingStorage(b"abcd")
+        storage.resize(6)
+        assert len(storage) == 6
+        storage.resize(2)
+        assert storage.snapshot() == b"ab"
+
+
+class TestJournaledApplierCleanRun:
+    def test_matches_plain_apply(self, sample_pair):
+        ref, ver = sample_pair
+        result = repro.diff_in_place(ref, ver)
+        assert run_clean(result.script, ref) == ver
+
+    def test_with_scratch_commands(self, rng):
+        ref = rng.randbytes(3_000)
+        ver = ref[1500:] + ref[:1500]
+        result = repro.diff_in_place(ref, ver)
+        base = repro.diff(ref, ver)
+        scratched = repro.make_in_place(base, ref, scratch_budget=1 << 14)
+        assert run_clean(scratched.script, ref) == ver
+
+    def test_idempotent_after_completion(self, sample_pair):
+        ref, ver = sample_pair
+        result = repro.diff_in_place(ref, ver)
+        storage = CrashingStorage(ref)
+        journal = Journal()
+        JournaledApplier(result.script, journal).run(storage)
+        assert journal.complete
+        # Running again must be a no-op.
+        JournaledApplier(result.script, journal).run(storage)
+        assert storage.snapshot() == ver
+
+    def test_schedule_exhaustion_raises(self, sample_pair):
+        ref, ver = sample_pair
+        result = repro.diff_in_place(ref, ver)
+        with pytest.raises(ReproError):
+            apply_with_power_failures(result.script, ref, [0, 0])
+
+
+def crash_sweep(script, reference, expected, *, stride=1, chunk_size=7):
+    """Crash at every ``stride``-th write boundary, resume, check image."""
+    # First, count total storage writes in a clean run.
+    probe = CrashingStorage(reference)
+    JournaledApplier(script, Journal()).run(probe, chunk_size=chunk_size)
+    total = probe.bytes_written
+    for crash_at in range(0, total, stride):
+        image = apply_with_power_failures(
+            script, reference, [crash_at, None], chunk_size=chunk_size
+        )
+        assert image == expected, "crash at write %d of %d" % (crash_at, total)
+
+
+class TestCrashSweeps:
+    def test_plain_copies_and_adds(self):
+        ref = bytes(range(64))
+        script = DeltaScript(
+            [CopyCommand(32, 0, 16), CopyCommand(48, 24, 16),
+             AddCommand(16, b"Z" * 8), AddCommand(40, b"Q" * 8)],
+            version_length=48,
+        )
+        assert repro.is_in_place_safe(script)
+        expected = repro.apply_delta(script, ref)
+        crash_sweep(script, ref, expected)
+
+    def test_self_overlapping_copies_both_directions(self):
+        ref = bytes(range(64))
+        script = DeltaScript(
+            [CopyCommand(8, 0, 24),    # src > dst: left-to-right overlap
+             CopyCommand(30, 34, 24),  # src < dst: right-to-left overlap
+             AddCommand(24, b"." * 10), AddCommand(58, b"!" * 6)],
+            version_length=64,
+        )
+        script.validate(reference_length=len(ref))
+        expected = repro.apply_delta(script, ref)
+        assert repro.is_in_place_safe(script)
+        crash_sweep(script, ref, expected, chunk_size=5)
+
+    def test_spill_fill_script(self):
+        ref = bytes(range(48))
+        # Swap two blocks via scratch.
+        from repro.core.commands import FillCommand, SpillCommand
+
+        script = DeltaScript(
+            [SpillCommand(0, 0, 24), CopyCommand(24, 0, 24), FillCommand(0, 24, 24)],
+            version_length=48,
+        )
+        expected = repro.apply_delta(script, ref)
+        crash_sweep(script, ref, expected)
+
+    def test_growing_version(self):
+        ref = bytes(range(40))
+        script = DeltaScript(
+            [CopyCommand(0, 0, 40), AddCommand(40, b"tail-bytes-here!")],
+            version_length=56,
+        )
+        expected = repro.apply_delta(script, ref)
+        crash_sweep(script, ref, expected)
+
+    def test_shrinking_version(self):
+        ref = bytes(range(64))
+        script = DeltaScript([CopyCommand(32, 0, 20)], version_length=20)
+        expected = repro.apply_delta(script, ref)
+        crash_sweep(script, ref, expected)
+
+    def test_realistic_delta_sampled_crashes(self, rng):
+        ref = rng.randbytes(4_000)
+        ver = mutate(ref, rng)
+        result = repro.diff_in_place(ref, ver)
+        crash_sweep(result.script, ref, ver, stride=97)
+
+    def test_realistic_with_scratch_sampled_crashes(self, rng):
+        ref = rng.randbytes(4_000)
+        ver = ref[2_000:] + ref[:2_000]
+        base = repro.diff(ref, ver)
+        result = repro.make_in_place(base, ref, scratch_budget=1 << 14)
+        assert result.report.spilled_count >= 1
+        crash_sweep(result.script, ref, ver, stride=131)
+
+    def test_multiple_crashes_in_one_update(self, rng):
+        ref = rng.randbytes(2_000)
+        ver = mutate(ref, rng)
+        result = repro.diff_in_place(ref, ver)
+        image = apply_with_power_failures(
+            result.script, ref, [50, 50, 50, 50, None]
+        )
+        assert image == ver
+
+
+class TestCrashResumeProperty:
+    """Hypothesis: any crash schedule, any input — resume is exact."""
+
+    @given(
+        seed=st.integers(0, 2**31),
+        fuels=st.lists(st.integers(0, 600), min_size=0, max_size=6),
+        scratch=st.sampled_from([0, 4096]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_crash_schedules(self, seed, fuels, scratch):
+        rng = random.Random(seed)
+        ref = rng.randbytes(rng.randint(64, 1_500))
+        ver = mutate(ref, rng)
+        base = repro.diff(ref, ver)
+        result = repro.make_in_place(base, ref, scratch_budget=scratch)
+        image = apply_with_power_failures(
+            result.script, ref, list(fuels) + [None],
+            chunk_size=rng.choice([1, 3, 64, 4096]),
+        )
+        assert image == ver
+
+
+class TestJournalFootprint:
+    def test_journal_stays_small(self, sample_pair):
+        ref, ver = sample_pair
+        result = repro.diff_in_place(ref, ver)
+        storage = CrashingStorage(ref)
+        journal = Journal()
+        JournaledApplier(result.script, journal).run(storage)
+        # No scratch, and overlaps are cleared after each command: the
+        # journal ends at its 16-byte fixed footprint.
+        assert journal.size_bytes == 16
+
+    def test_journal_bounded_by_scratch_plus_overlap(self, rng):
+        ref = rng.randbytes(3_000)
+        ver = ref[1500:] + ref[:1500]
+        base = repro.diff(ref, ver)
+        result = repro.make_in_place(base, ref, scratch_budget=1 << 14)
+        journal = Journal()
+        JournaledApplier(result.script, journal).run(CrashingStorage(ref))
+        assert journal.size_bytes <= 16 + result.script.scratch_length

@@ -1,0 +1,96 @@
+"""Unit tests for compression metrics (repro.analysis.metrics)."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    PairMeasurement,
+    aggregate,
+    compression_factor,
+    measure_pair,
+)
+from repro.delta import correcting_delta
+
+
+class TestMeasurePair:
+    def test_pipeline_fields(self, sample_pair):
+        ref, ver = sample_pair
+        m = measure_pair("t", ref, ver)
+        assert m.version_bytes == len(ver)
+        assert m.reference_bytes == len(ref)
+        assert 0 < m.sequential_bytes <= m.offsets_bytes
+        assert set(m.in_place_bytes) == {"constant", "local-min"}
+        for policy, size in m.in_place_bytes.items():
+            assert size >= m.offsets_bytes, policy
+        assert m.diff_seconds > 0
+
+    def test_reuses_precomputed_script(self, sample_pair):
+        ref, ver = sample_pair
+        script = correcting_delta(ref, ver)
+        m = measure_pair("t", ref, ver, script=script)
+        assert m.diff_seconds == 0.0
+        assert m.sequential_bytes > 0
+
+    def test_custom_policies(self, sample_pair):
+        ref, ver = sample_pair
+        m = measure_pair("t", ref, ver, policies=("local-min",))
+        assert list(m.in_place_bytes) == ["local-min"]
+
+    def test_ratio(self):
+        m = PairMeasurement("t", version_bytes=1000, reference_bytes=900,
+                            sequential_bytes=150, offsets_bytes=160)
+        assert m.ratio(150) == pytest.approx(0.15)
+
+
+class TestAggregate:
+    def make(self, name, version, seq, off, const, local):
+        m = PairMeasurement(name, version_bytes=version, reference_bytes=version,
+                            sequential_bytes=seq, offsets_bytes=off)
+        m.in_place_bytes = {"constant": const, "local-min": local}
+        return m
+
+    def test_totals_weighted_by_bytes(self):
+        records = [
+            self.make("a", 1000, 100, 110, 150, 120),
+            self.make("b", 3000, 600, 630, 660, 640),
+        ]
+        summary = aggregate(records)
+        assert summary.pairs == 2
+        assert summary.version_bytes == 4000
+        assert summary.compression_sequential == pytest.approx(100 * 700 / 4000)
+        assert summary.compression_offsets == pytest.approx(100 * 740 / 4000)
+        assert summary.encoding_loss == pytest.approx(100 * 40 / 4000)
+        assert summary.cycle_loss["constant"] == pytest.approx(100 * 70 / 4000)
+        assert summary.total_loss["local-min"] == pytest.approx(100 * 60 / 4000)
+
+    def test_loss_decomposition_sums(self):
+        records = [self.make("a", 2000, 300, 330, 390, 340)]
+        summary = aggregate(records)
+        for policy in ("constant", "local-min"):
+            assert summary.total_loss[policy] == pytest.approx(
+                summary.encoding_loss + summary.cycle_loss[policy]
+            )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_rows_layout(self):
+        summary = aggregate([self.make("a", 1000, 100, 110, 150, 120)])
+        rows = summary.rows()
+        assert rows[0][0] == ""
+        assert rows[1][0] == "Compression"
+        assert rows[-1][0] == "Total loss"
+        # constant sorts before local-min.
+        assert "constant" in rows[0][3]
+
+
+class TestCompressionFactor:
+    def test_factor(self):
+        m = PairMeasurement("t", version_bytes=1000, reference_bytes=1000,
+                            sequential_bytes=125, offsets_bytes=130)
+        assert compression_factor(m) == pytest.approx(8.0)
+
+    def test_zero_delta(self):
+        m = PairMeasurement("t", version_bytes=1000, reference_bytes=1000,
+                            sequential_bytes=0, offsets_bytes=0)
+        assert compression_factor(m) == float("inf")

@@ -1,0 +1,173 @@
+"""Unit tests for cycle-breaking policies and FVS solvers (repro.core.policies)."""
+
+import random
+
+import pytest
+
+from repro.analysis.adversarial import figure2_case, figure2_expected_costs
+from repro.core.commands import CopyCommand
+from repro.core.crwi import CRWIDigraph, build_crwi_digraph
+from repro.core.policies import (
+    ConstantTimePolicy,
+    LocallyMinimumPolicy,
+    MaxOutDegreePolicy,
+    eviction_cost,
+    exact_minimum_evictions,
+    greedy_evictions,
+    is_feedback_vertex_set,
+    make_policy,
+)
+from repro.core.toposort import cycle_breaking_toposort
+from repro.exceptions import CycleBreakError
+
+
+def make_graph(n: int, edges, lengths=None) -> CRWIDigraph:
+    lengths = lengths or [10] * n
+    graph = CRWIDigraph(
+        vertices=[CopyCommand(0, i * 1000, lengths[i]) for i in range(n)],
+        successors=[[] for _ in range(n)],
+        predecessors=[[] for _ in range(n)],
+    )
+    for u, v in edges:
+        graph.successors[u].append(v)
+        graph.predecessors[v].append(u)
+    return graph
+
+
+class TestPerCyclePolicies:
+    def test_constant_picks_last(self):
+        assert ConstantTimePolicy().choose([3, 7, 5], [0, 0, 0, 1, 1, 2, 2, 9]) == 5
+
+    def test_local_min_picks_cheapest(self):
+        costs = [50, 10, 30, 20]
+        assert LocallyMinimumPolicy().choose([0, 2, 3], costs) == 3
+
+    def test_local_min_tie_breaks_to_earliest(self):
+        costs = [10, 10, 10]
+        assert LocallyMinimumPolicy().choose([2, 0, 1], costs) == 2
+
+    def test_empty_cycle_raises(self):
+        with pytest.raises(CycleBreakError):
+            ConstantTimePolicy().choose([], [])
+        with pytest.raises(CycleBreakError):
+            LocallyMinimumPolicy().choose([], [])
+
+    def test_max_out_degree(self):
+        graph = make_graph(3, [(0, 1), (0, 2), (1, 0), (2, 0)])
+        policy = MaxOutDegreePolicy(graph)
+        assert policy.choose([0, 1], [5, 5, 5]) == 0  # degree 2 beats 1
+
+    def test_make_policy(self):
+        assert make_policy("constant").name == "constant"
+        assert make_policy("local-min").name == "local-min"
+        assert make_policy("locally-minimum").name == "local-min"
+        graph = make_graph(1, [])
+        assert make_policy("max-out-degree", graph).name == "max-out-degree"
+
+    def test_make_policy_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("fancy")
+
+    def test_make_policy_max_degree_needs_graph(self):
+        with pytest.raises(ValueError):
+            make_policy("max-out-degree")
+
+
+class TestGreedyEvictions:
+    def test_acyclic_untouched(self):
+        graph = make_graph(3, [(0, 1), (1, 2)])
+        assert greedy_evictions(graph) == []
+
+    def test_breaks_all_cycles(self):
+        graph = make_graph(4, [(0, 1), (1, 0), (2, 3), (3, 2)])
+        evicted = greedy_evictions(graph)
+        assert is_feedback_vertex_set(graph, evicted)
+        assert len(evicted) == 2
+
+    def test_prefers_central_vertices(self):
+        # Star of 2-cycles around vertex 0; evicting 0 alone suffices and
+        # the cost/degree heuristic should find it.
+        edges = []
+        for leaf in range(1, 6):
+            edges += [(0, leaf), (leaf, 0)]
+        graph = make_graph(6, edges)
+        assert greedy_evictions(graph) == [0]
+
+
+class TestExactEvictions:
+    def test_matches_known_optimum(self):
+        # Two disjoint 2-cycles with one cheap member each.
+        graph = make_graph(
+            4, [(0, 1), (1, 0), (2, 3), (3, 2)], lengths=[100, 10, 10, 100]
+        )
+        best = exact_minimum_evictions(graph)
+        assert sorted(best) == [1, 2]
+
+    def test_acyclic_is_free(self):
+        graph = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert exact_minimum_evictions(graph) == []
+
+    def test_size_guard(self):
+        graph = make_graph(100, [])
+        with pytest.raises(ValueError):
+            exact_minimum_evictions(graph, max_vertices=50)
+
+    def test_figure2_optimum_is_root(self):
+        case = figure2_case(3)
+        graph = build_crwi_digraph(case.script)
+        best = exact_minimum_evictions(graph)
+        _, optimal_cost = figure2_expected_costs(3)
+        assert eviction_cost(best, graph.costs()) == optimal_cost
+        assert len(best) == 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_never_worse_than_heuristics(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 12)
+        edges = set()
+        for _ in range(rng.randint(n, 3 * n)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.add((u, v))
+        lengths = [rng.randint(5, 300) for _ in range(n)]
+        graph = make_graph(n, sorted(edges), lengths)
+        costs = graph.costs()
+        best = exact_minimum_evictions(graph, costs)
+        assert is_feedback_vertex_set(graph, best)
+        greedy = greedy_evictions(graph, costs)
+        assert eviction_cost(best, costs) <= eviction_cost(greedy, costs)
+        for policy in (ConstantTimePolicy(), LocallyMinimumPolicy()):
+            result = cycle_breaking_toposort(graph, policy, costs)
+            assert eviction_cost(best, costs) <= eviction_cost(result.evicted, costs)
+
+
+class TestFigure2Adversary:
+    """The paper's Figure 2 claim, reproduced end to end."""
+
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_local_min_evicts_every_leaf(self, depth):
+        case = figure2_case(depth)
+        graph = build_crwi_digraph(case.script)
+        result = cycle_breaking_toposort(graph, LocallyMinimumPolicy(), graph.costs())
+        expected_local, _ = figure2_expected_costs(depth)
+        assert eviction_cost(result.evicted, graph.costs()) == expected_local
+        assert len(result.evicted) == 2 ** depth
+
+    @pytest.mark.parametrize("depth", [2, 3, 4])
+    def test_gap_to_optimal_grows_linearly(self, depth):
+        local, optimal = figure2_expected_costs(depth)
+        assert local / optimal == pytest.approx((2 ** depth) * 4 / 6)
+
+    def test_max_out_degree_policy_finds_root(self):
+        # The ablation policy evicts the root on the first cycle: the root
+        # has out-degree 2 but every other cycle member has <= 2 as well —
+        # what distinguishes it is cost ties broken by degree; verify the
+        # policy needs only one eviction per tree *or* at least beats
+        # local-min's total cost.
+        case = figure2_case(3)
+        graph = build_crwi_digraph(case.script)
+        result = cycle_breaking_toposort(
+            graph, MaxOutDegreePolicy(graph), graph.costs()
+        )
+        local_cost, _ = figure2_expected_costs(3)
+        assert eviction_cost(result.evicted, graph.costs()) <= local_cost

@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) for the invariants in DESIGN.md section 5.
+
+These are the library's strongest correctness evidence: arbitrary byte
+buffers and arbitrary edits, every differencing algorithm, every policy —
+the round-trip and safety contracts must hold for all of them.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.apply import apply_delta, apply_in_place
+from repro.core.commands import CopyCommand, DeltaScript
+from repro.core.crwi import build_crwi_digraph, lemma1_bound
+from repro.core.convert import make_in_place
+from repro.core.policies import is_feedback_vertex_set
+from repro.core.verify import adds_are_last, count_wr_conflicts, is_in_place_safe
+from repro.delta import (
+    FORMAT_INPLACE,
+    FORMAT_INPLACE_FIXED,
+    FORMAT_SEQUENTIAL,
+    correcting_delta,
+    decode_delta,
+    encode_delta,
+    encoded_size,
+    greedy_delta,
+    onepass_delta,
+)
+from repro.delta.varint import decode_varint, encode_varint, varint_size
+
+# -- strategies -------------------------------------------------------------
+
+buffers = st.binary(min_size=0, max_size=2_000)
+
+related_pairs = st.builds(
+    lambda base, seed: (bytes(base), _mutated(bytes(base), seed)),
+    st.binary(min_size=0, max_size=1_500),
+    st.integers(0, 2**31),
+)
+
+
+def _mutated(base: bytes, seed: int) -> bytes:
+    from repro.workloads import mutate
+
+    return mutate(base, random.Random(seed))
+
+
+ALGORITHMS = [greedy_delta, onepass_delta, correcting_delta]
+POLICIES = ["constant", "local-min"]
+
+
+# -- I1: differencing round trip -------------------------------------------
+
+
+@pytest.mark.parametrize("differ", ALGORITHMS)
+@given(pair=related_pairs)
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_related(differ, pair):
+    ref, ver = pair
+    script = differ(ref, ver)
+    script.validate(reference_length=len(ref))
+    assert apply_delta(script, ref) == ver
+
+
+@pytest.mark.parametrize("differ", ALGORITHMS)
+@given(ref=buffers, ver=buffers)
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_unrelated(differ, ref, ver):
+    script = differ(ref, ver)
+    assert apply_delta(script, ref) == ver
+
+
+# -- I2/I3: in-place conversion safety and equivalence ----------------------
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@given(pair=related_pairs)
+@settings(max_examples=25, deadline=None)
+def test_in_place_roundtrip(policy, pair):
+    ref, ver = pair
+    script = correcting_delta(ref, ver)
+    result = make_in_place(script, ref, policy=policy)
+    assert is_in_place_safe(result.script)          # I3 (Equation 2)
+    assert adds_are_last(result.script)
+    assert count_wr_conflicts(result.script) == 0
+    buf = bytearray(ref)
+    apply_in_place(result.script, buf, strict=True)  # dynamic check agrees
+    assert bytes(buf) == ver                         # I2
+
+
+# -- I5/I6: CRWI digraph bounds and eviction correctness --------------------
+
+
+@given(pair=related_pairs)
+@settings(max_examples=25, deadline=None)
+def test_lemma1_edge_bound(pair):
+    ref, ver = pair
+    script = correcting_delta(ref, ver)
+    graph = build_crwi_digraph(script)
+    assert graph.edge_count <= lemma1_bound(script)  # I5
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@given(pair=related_pairs)
+@settings(max_examples=15, deadline=None)
+def test_evictions_are_fvs(policy, pair):
+    ref, ver = pair
+    script = correcting_delta(ref, ver)
+    graph = build_crwi_digraph(script)
+    result = make_in_place(script, ref, policy=policy)
+    # Map evicted commands back to vertex ids via identity of commands.
+    surviving = [c for c in result.script.copies()]
+    evicted_ids = [
+        i for i, cmd in enumerate(graph.vertices) if cmd not in surviving
+    ]
+    assert is_feedback_vertex_set(graph, evicted_ids)  # I6
+
+
+# -- I7: size accounting ----------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@given(pair=related_pairs)
+@settings(max_examples=15, deadline=None)
+def test_conversion_size_accounting(pair, policy):
+    ref, ver = pair
+    script = correcting_delta(ref, ver)
+    result = make_in_place(script, ref, policy=policy)
+    assert result.script.added_bytes == \
+        script.added_bytes + result.report.evicted_bytes
+    assert result.script.copied_bytes == \
+        script.copied_bytes - result.report.evicted_bytes
+    assert encoded_size(result.script, FORMAT_INPLACE) >= \
+        encoded_size(script, FORMAT_SEQUENTIAL)
+
+
+# -- I8: directional copies -------------------------------------------------
+
+
+@given(
+    data=st.binary(min_size=1, max_size=300),
+    src=st.integers(0, 250),
+    dst=st.integers(0, 250),
+    length=st.integers(1, 200),
+)
+@settings(max_examples=100, deadline=None)
+def test_directional_copy_matches_buffered(data, src, dst, length):
+    from repro.core.apply import _directional_copy
+
+    length = min(length, len(data) - src, len(data) - dst)
+    if length <= 0:
+        return
+    expected = bytearray(data)
+    expected[dst:dst + length] = bytes(data[src:src + length])
+    for chunk in (1, 7, 4096):
+        buf = bytearray(data)
+        _directional_copy(buf, src, dst, length, chunk)
+        assert buf == expected
+
+
+# -- I9: codec round trips --------------------------------------------------
+
+
+@given(value=st.integers(0, 2**63 - 1))
+def test_varint_roundtrip(value):
+    encoded = encode_varint(value)
+    assert varint_size(value) == len(encoded)
+    decoded, offset = decode_varint(encoded)
+    assert decoded == value and offset == len(encoded)
+
+
+@pytest.mark.parametrize("fmt", [FORMAT_SEQUENTIAL, FORMAT_INPLACE, FORMAT_INPLACE_FIXED])
+@given(pair=related_pairs)
+@settings(max_examples=20, deadline=None)
+def test_delta_codec_roundtrip(fmt, pair):
+    ref, ver = pair
+    script = correcting_delta(ref, ver)
+    payload = encode_delta(script, fmt)
+    assert len(payload) == encoded_size(script, fmt)
+    decoded, header = decode_delta(payload)
+    assert header.version_length == len(ver)
+    assert apply_delta(decoded, ref) == ver
+
+
+# -- I4: write intervals tile the version -----------------------------------
+
+
+@pytest.mark.parametrize("differ", ALGORITHMS)
+@given(pair=related_pairs)
+@settings(max_examples=20, deadline=None)
+def test_write_intervals_tile(differ, pair):
+    ref, ver = pair
+    script = differ(ref, ver)
+    cursor = 0
+    for cmd in script.commands:
+        assert cmd.write_interval.start == cursor
+        cursor = cmd.write_interval.stop + 1
+    assert cursor == len(ver)
+
+
+# -- arbitrary scripts: conversion never breaks equivalence -----------------
+
+
+@st.composite
+def arbitrary_scripts(draw):
+    """Random (possibly highly conflicting) scripts over a random reference."""
+    ref_len = draw(st.integers(32, 600))
+    rng = random.Random(draw(st.integers(0, 2**31)))
+    reference = rng.randbytes(ref_len)
+    commands = []
+    cursor = 0
+    while cursor < ref_len:
+        length = min(rng.randint(1, 64), ref_len - cursor)
+        if rng.random() < 0.8:
+            src = rng.randint(0, ref_len - length)
+            commands.append(CopyCommand(src, cursor, length))
+        else:
+            from repro.core.commands import AddCommand
+
+            commands.append(AddCommand(cursor, rng.randbytes(length)))
+        cursor += length
+    return reference, DeltaScript(commands, ref_len)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@given(case=arbitrary_scripts())
+@settings(max_examples=30, deadline=None)
+def test_arbitrary_scripts_convert_safely(policy, case):
+    reference, script = case
+    expected = apply_delta(script, reference)
+    result = make_in_place(script, reference, policy=policy)
+    assert is_in_place_safe(result.script)
+    buf = bytearray(reference)
+    apply_in_place(result.script, buf, strict=True)
+    assert bytes(buf) == expected

@@ -1,0 +1,260 @@
+"""Tests for the bounded-scratch extension (spill/fill cycle breaking).
+
+The paper's pure algorithm converts cycle-breaking copies into adds,
+paying the copied data in delta size.  The extension (anticipated by the
+paper's conclusions; realized in the authors' journal follow-up) routes
+those copies through a small device scratch buffer instead: a
+SpillCommand saves the source bytes before any write clobbers them and
+a FillCommand restores them — a few codewords instead of the whole data.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.core.apply import apply_delta, apply_in_place
+from repro.core.commands import (
+    CopyCommand,
+    DeltaScript,
+    FillCommand,
+    SpillCommand,
+)
+from repro.core.convert import make_in_place
+from repro.core.verify import is_in_place_safe
+from repro.delta import (
+    FORMAT_INPLACE,
+    FORMAT_SEQUENTIAL,
+    correcting_delta,
+    decode_delta,
+    encode_delta,
+    encoded_size,
+)
+from repro.delta.stream import apply_delta_stream
+from repro.exceptions import (
+    DeltaFormatError,
+    DeltaRangeError,
+    OverlappingWriteError,
+)
+from repro.workloads import mutate
+
+
+def swap_script() -> DeltaScript:
+    """Block swap: a 2-cycle that must evict one copy."""
+    return DeltaScript(
+        [CopyCommand(4, 0, 4), CopyCommand(0, 4, 4)], version_length=8
+    )
+
+
+class TestCommandModel:
+    def test_spill_intervals(self):
+        spill = SpillCommand(src=10, scratch=2, length=5)
+        assert spill.read_interval.start == 10
+        assert spill.scratch_interval.stop == 6
+
+    def test_fill_intervals(self):
+        fill = FillCommand(scratch=2, dst=20, length=5)
+        assert fill.scratch_interval.start == 2
+        assert fill.write_interval.stop == 24
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(DeltaRangeError):
+            SpillCommand(-1, 0, 4)
+        with pytest.raises(DeltaRangeError):
+            SpillCommand(0, 0, 0)
+        with pytest.raises(DeltaRangeError):
+            FillCommand(0, -1, 4)
+
+    def test_script_scratch_length(self):
+        script = DeltaScript(
+            [SpillCommand(0, 10, 6), FillCommand(10, 0, 6), CopyCommand(8, 6, 2)],
+            version_length=8,
+        )
+        assert script.scratch_length == 16
+        assert DeltaScript([], 0).scratch_length == 0
+
+    def test_validate_checks_scratch(self):
+        overlapping = DeltaScript(
+            [SpillCommand(0, 0, 4), SpillCommand(4, 2, 4),
+             FillCommand(0, 0, 4), FillCommand(2, 4, 4)],
+            version_length=8,
+        )
+        with pytest.raises(OverlappingWriteError):
+            overlapping.validate(require_cover=False)
+
+    def test_validate_fill_needs_spilled_region(self):
+        dangling = DeltaScript(
+            [SpillCommand(0, 0, 4), FillCommand(2, 0, 4), FillCommand(0, 4, 2)],
+            version_length=8,
+        )
+        with pytest.raises(DeltaRangeError):
+            dangling.validate(require_cover=False)
+
+
+class TestApplyWithScratch:
+    def script(self) -> DeltaScript:
+        # Swap blocks via scratch: spill [0,3], copy [4,7]->[0,3], fill.
+        return DeltaScript(
+            [SpillCommand(0, 0, 4), CopyCommand(4, 0, 4), FillCommand(0, 4, 4)],
+            version_length=8,
+        )
+
+    def test_two_space(self):
+        assert apply_delta(self.script(), b"abcdwxyz") == b"wxyzabcd"
+
+    def test_in_place_strict(self):
+        buf = bytearray(b"abcdwxyz")
+        apply_in_place(self.script(), buf, strict=True)
+        assert buf == b"wxyzabcd"
+
+    def test_in_place_equals_two_space(self, rng):
+        ref = rng.randbytes(1000)
+        ver = mutate(ref, rng)
+        base = correcting_delta(ref, ver)
+        result = make_in_place(base, ref, scratch_budget=1 << 16)
+        expected = apply_delta(result.script, ref)
+        buf = bytearray(ref)
+        apply_in_place(result.script, buf, strict=True)
+        assert bytes(buf) == expected == ver
+
+    def test_spill_must_read_unwritten_bytes(self):
+        # A spill placed after a write into its read interval conflicts.
+        bad = DeltaScript(
+            [CopyCommand(4, 0, 4), SpillCommand(0, 0, 4), FillCommand(0, 4, 4)],
+            version_length=8,
+        )
+        assert not is_in_place_safe(bad)
+
+
+class TestConvertWithScratch:
+    def test_swap_spilled_not_added(self):
+        result = make_in_place(swap_script(), scratch_budget=16)
+        report = result.report
+        assert report.evicted_count == 1
+        assert report.spilled_count == 1
+        assert report.spilled_bytes == 4
+        assert report.scratch_used == 4
+        assert not result.script.adds()
+        assert len(result.script.spills()) == 1
+        assert len(result.script.fills()) == 1
+
+    def test_no_reference_needed_when_scratch_suffices(self):
+        # Pure spill/fill conversion carries no literal data.
+        result = make_in_place(swap_script(), reference=None, scratch_budget=64)
+        assert result.report.spilled_count == 1
+
+    def test_budget_zero_matches_paper_algorithm(self):
+        with_scratch = make_in_place(swap_script(), b"01234567", scratch_budget=0)
+        assert with_scratch.report.spilled_count == 0
+        assert with_scratch.report.evicted_count == 1
+        assert len(with_scratch.script.adds()) == 1
+
+    def test_partial_budget_prefers_large_evictions(self):
+        # Two independent 2-cycles: one large (100-byte blocks), one small
+        # (8-byte blocks); budget fits only the large one.
+        commands = [
+            CopyCommand(100, 0, 100), CopyCommand(0, 100, 100),
+            CopyCommand(208, 200, 8), CopyCommand(200, 208, 8),
+        ]
+        script = DeltaScript(commands, 216)
+        ref = bytes(range(216 % 256)) * 2
+        ref = (b"x" * 216)
+        result = make_in_place(script, ref, scratch_budget=104)
+        assert result.report.spilled_count == 1
+        assert result.report.spilled_bytes == 100
+        assert result.report.evicted_count == 2
+        assert len(result.script.adds()) == 1  # the small one fell back
+
+    def test_scratch_reduces_encoded_size(self, rng):
+        ref = rng.randbytes(4000)
+        # Force cycles: swap two large blocks.
+        ver = ref[2000:] + ref[:2000]
+        base = correcting_delta(ref, ver)
+        plain = make_in_place(base, ref, scratch_budget=0)
+        scratched = make_in_place(base, ref, scratch_budget=1 << 16)
+        if plain.report.evicted_bytes > 64:
+            assert encoded_size(scratched.script, FORMAT_INPLACE) < \
+                encoded_size(plain.script, FORMAT_INPLACE)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            make_in_place(swap_script(), scratch_budget=-1)
+
+    @pytest.mark.parametrize("policy", ["constant", "local-min", "greedy-global"])
+    def test_all_policies_support_scratch(self, policy, rng):
+        ref = rng.randbytes(2000)
+        ver = ref[1000:] + ref[:1000]
+        base = correcting_delta(ref, ver)
+        result = make_in_place(base, ref, policy=policy, scratch_budget=1 << 14)
+        buf = bytearray(ref)
+        apply_in_place(result.script, buf, strict=True)
+        assert bytes(buf) == ver
+
+
+class TestScratchWireFormat:
+    def result(self):
+        return make_in_place(swap_script(), scratch_budget=16)
+
+    def test_round_trip(self):
+        script = self.result().script
+        payload = encode_delta(script, FORMAT_INPLACE)
+        decoded, header = decode_delta(payload)
+        assert header.scratch_length == script.scratch_length == 4
+        assert decoded.commands == script.commands
+
+    def test_encoded_size_matches(self):
+        script = self.result().script
+        assert encoded_size(script, FORMAT_INPLACE) == \
+            len(encode_delta(script, FORMAT_INPLACE))
+
+    def test_sequential_format_rejects_scratch(self):
+        with pytest.raises(DeltaFormatError):
+            encode_delta(self.result().script, FORMAT_SEQUENTIAL)
+
+    def test_streaming_apply(self):
+        script = self.result().script
+        payload = encode_delta(script, FORMAT_INPLACE)
+        buf = bytearray(b"abcdwxyz")
+        apply_delta_stream(payload, buf, strict=True)
+        assert buf == b"wxyzabcd"
+
+
+class TestDeviceScratchAccounting:
+    def test_device_charges_scratch_ram(self, rng):
+        from repro.device import ConstrainedDevice
+
+        ref = rng.randbytes(20_000)
+        ver = ref[10_000:] + ref[:10_000]  # big swap: large eviction
+        base = correcting_delta(ref, ver)
+        result = make_in_place(base, ref, scratch_budget=1 << 14)
+        assert result.report.scratch_used > 0
+        from repro.delta import version_checksum
+
+        payload = encode_delta(result.script, FORMAT_INPLACE,
+                               version_crc32=version_checksum(ver))
+        device = ConstrainedDevice(ref, ram=len(payload) + 8192
+                                   + result.report.scratch_used)
+        device.apply_delta_in_place(payload)
+        assert device.image == ver
+        assert device.ram.in_use == 0  # scratch freed after the update
+        assert device.ram.peak >= result.report.scratch_used
+
+    def test_update_server_scratch_budget(self, rng):
+        from repro.device import ConstrainedDevice, UpdateServer, get_channel, run_update
+
+        ref = rng.randbytes(20_000)
+        ver = ref[10_000:] + ref[:10_000]
+        plain_server = UpdateServer()
+        scratch_server = UpdateServer(scratch_budget=1 << 14)
+        for server in (plain_server, scratch_server):
+            server.publish("pkg", ref)
+            server.publish("pkg", ver)
+        plain_payload = plain_server.build_payload("pkg", 0, 1, "in-place")
+        scratch_payload = scratch_server.build_payload("pkg", 0, 1, "in-place")
+        assert len(scratch_payload) < len(plain_payload)
+
+        device = ConstrainedDevice(ref, ram=len(scratch_payload) + (1 << 14) + 8192)
+        outcome = run_update(scratch_server, device, get_channel("modem-56k"),
+                             "pkg", have=0, strategy="in-place")
+        assert outcome.succeeded, outcome.failure
+        assert device.image == ver

@@ -1,0 +1,134 @@
+"""Unit tests for streaming delta decoding (repro.delta.stream)."""
+
+import io
+
+import pytest
+
+import repro
+from repro.core.apply import apply_delta, apply_in_place
+from repro.core.commands import AddCommand, CopyCommand, DeltaScript
+from repro.delta import (
+    ALL_FORMATS,
+    FORMAT_INPLACE,
+    FORMAT_SEQUENTIAL,
+    correcting_delta,
+    encode_delta,
+    version_checksum,
+)
+from repro.delta.stream import apply_delta_stream, iter_delta_commands, read_header
+from repro.exceptions import DeltaFormatError, WriteBeforeReadError
+
+
+def sample_script() -> DeltaScript:
+    return DeltaScript(
+        [CopyCommand(100, 0, 40), AddCommand(40, b"A" * 300), CopyCommand(0, 340, 30)],
+        version_length=370,
+    )
+
+
+class TestIterCommands:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_matches_batch_decoder(self, fmt):
+        from repro.delta import decode_delta
+
+        payload = encode_delta(sample_script(), fmt)
+        batch, batch_header = decode_delta(payload)
+        header, stream_commands = iter_delta_commands(payload)
+        assert header == batch_header
+        assert list(stream_commands) == batch.commands
+
+    def test_accepts_file_object(self):
+        payload = encode_delta(sample_script(), FORMAT_INPLACE)
+        header, commands = iter_delta_commands(io.BytesIO(payload))
+        assert header.version_length == 370
+        assert len(list(commands)) == 4  # 40-copy, 255-add, 45-add, 30-copy
+
+    def test_lazy_parsing(self):
+        # Only the header is consumed until the iterator is advanced.
+        payload = encode_delta(sample_script(), FORMAT_INPLACE)
+        stream = io.BytesIO(payload)
+        iter_delta_commands(stream)
+        assert stream.tell() < 20
+
+    def test_truncated_stream(self):
+        payload = encode_delta(sample_script(), FORMAT_INPLACE)
+        header, commands = iter_delta_commands(payload[:-8])
+        with pytest.raises(DeltaFormatError):
+            list(commands)
+
+    def test_bad_magic(self):
+        with pytest.raises(DeltaFormatError):
+            iter_delta_commands(b"JUNKJUNKJUNK")
+
+    def test_read_header(self):
+        payload = encode_delta(sample_script(), FORMAT_SEQUENTIAL,
+                               version_crc32=123)
+        header = read_header(io.BytesIO(payload))
+        assert header.format == FORMAT_SEQUENTIAL
+        assert header.version_crc32 == 123
+
+
+class TestApplyStream:
+    def test_equivalent_to_in_place_apply(self, sample_pair):
+        ref, ver = sample_pair
+        result = repro.diff_in_place(ref, ver)
+        payload = encode_delta(result.script, FORMAT_INPLACE)
+
+        via_stream = bytearray(ref)
+        apply_delta_stream(payload, via_stream, strict=True)
+        assert bytes(via_stream) == ver
+
+    def test_strict_rejects_conflicts(self):
+        conflicting = DeltaScript(
+            [CopyCommand(4, 0, 2), CopyCommand(0, 2, 2)], version_length=4
+        )
+        payload = encode_delta(conflicting, FORMAT_INPLACE)
+        with pytest.raises(WriteBeforeReadError):
+            apply_delta_stream(payload, bytearray(b"012345"), strict=True)
+
+    def test_growing_and_shrinking(self, rng):
+        ref = rng.randbytes(2_000)
+        for ver in (ref[:500], ref + rng.randbytes(800)):
+            script = correcting_delta(ref, ver)
+            converted = repro.make_in_place(script, ref).script
+            payload = encode_delta(converted, FORMAT_INPLACE)
+            buf = bytearray(ref)
+            apply_delta_stream(payload, buf, strict=True)
+            assert bytes(buf) == ver
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            apply_delta_stream(b"", bytearray(), chunk_size=0)
+
+
+class TestDeviceStreaming:
+    def test_ram_below_payload_size(self, rng):
+        from repro.device import ConstrainedDevice
+        from repro.workloads import make_binary_blob, mutate
+
+        ref = make_binary_blob(rng, 60_000)
+        ver = mutate(ref, rng)
+        result = repro.diff_in_place(ref, ver)
+        payload = encode_delta(result.script, FORMAT_INPLACE,
+                               version_crc32=version_checksum(ver))
+        # RAM too small to stage the payload, but enough for streaming.
+        device = ConstrainedDevice(ref, ram=2048, copy_window=1024)
+        assert len(payload) > device.ram.budget - 1024
+        device.apply_delta_streaming(payload)
+        assert device.image == ver
+        assert device.ram.peak <= 1024 + 512
+
+    def test_update_session_streaming_strategy(self, sample_pair):
+        import random
+
+        from repro.device import ConstrainedDevice, UpdateServer, get_channel, run_update
+
+        ref, ver = sample_pair
+        server = UpdateServer()
+        server.publish("pkg", ref)
+        server.publish("pkg", ver)
+        device = ConstrainedDevice(ref, ram=2048, copy_window=1024)
+        outcome = run_update(server, device, get_channel("modem-56k"), "pkg",
+                             have=0, strategy="in-place-stream")
+        assert outcome.succeeded, outcome.failure
+        assert device.image == ver

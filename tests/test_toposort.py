@@ -1,0 +1,235 @@
+"""Unit tests for the cycle-breaking topological sort (repro.core.toposort)."""
+
+import random
+
+import pytest
+
+from repro.analysis.adversarial import figure2_case, figure3_case, rotation_medley
+from repro.core.commands import CopyCommand, DeltaScript
+from repro.core.crwi import CRWIDigraph, build_crwi_digraph
+from repro.core.policies import (
+    ConstantTimePolicy,
+    LocallyMinimumPolicy,
+    is_feedback_vertex_set,
+)
+from repro.core.toposort import (
+    cycle_breaking_toposort,
+    order_respects_edges,
+    plain_toposort,
+)
+from repro.exceptions import CycleBreakError
+from repro.workloads import mutate
+
+
+def make_graph(n: int, edges, lengths=None) -> CRWIDigraph:
+    """Hand-build a digraph; vertex commands are synthetic placeholders."""
+    lengths = lengths or [10] * n
+    graph = CRWIDigraph(
+        vertices=[CopyCommand(0, i * 1000, lengths[i]) for i in range(n)],
+        successors=[[] for _ in range(n)],
+        predecessors=[[] for _ in range(n)],
+    )
+    for u, v in edges:
+        graph.successors[u].append(v)
+        graph.predecessors[v].append(u)
+    return graph
+
+
+class TestAcyclicSort:
+    def test_chain(self):
+        graph = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        result = cycle_breaking_toposort(graph, ConstantTimePolicy())
+        assert result.order == [0, 1, 2, 3]
+        assert result.evicted == []
+        assert result.cycles_found == 0
+
+    def test_diamond(self):
+        graph = make_graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        result = cycle_breaking_toposort(graph, ConstantTimePolicy())
+        assert not result.evicted
+        assert order_respects_edges(graph, result)
+
+    def test_disconnected(self):
+        graph = make_graph(5, [(0, 1), (3, 4)])
+        result = cycle_breaking_toposort(graph, ConstantTimePolicy())
+        assert sorted(result.order) == [0, 1, 2, 3, 4]
+        assert order_respects_edges(graph, result)
+
+    def test_empty(self):
+        result = cycle_breaking_toposort(make_graph(0, []), ConstantTimePolicy())
+        assert result.order == []
+
+
+class TestCycleBreaking:
+    def test_two_cycle_constant(self):
+        graph = make_graph(2, [(0, 1), (1, 0)])
+        result = cycle_breaking_toposort(graph, ConstantTimePolicy())
+        assert len(result.evicted) == 1
+        assert result.cycles_found == 1
+        assert is_feedback_vertex_set(graph, result.evicted)
+        assert order_respects_edges(graph, result)
+
+    def test_two_cycle_local_min_picks_cheapest(self):
+        graph = make_graph(2, [(0, 1), (1, 0)], lengths=[100, 10])
+        result = cycle_breaking_toposort(
+            graph, LocallyMinimumPolicy(), costs=graph.costs()
+        )
+        assert result.evicted == [1]
+
+    def test_long_cycle(self):
+        n = 50
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        graph = make_graph(n, edges)
+        result = cycle_breaking_toposort(graph, ConstantTimePolicy())
+        assert len(result.evicted) == 1
+        assert result.total_cycle_length == n
+        assert order_respects_edges(graph, result)
+
+    def test_two_overlapping_cycles_one_shared_vertex(self):
+        # 0->1->0 and 1->2->1: evicting vertex 1 breaks both.
+        graph = make_graph(
+            3, [(0, 1), (1, 0), (1, 2), (2, 1)], lengths=[100, 5, 100]
+        )
+        result = cycle_breaking_toposort(
+            graph, LocallyMinimumPolicy(), costs=graph.costs()
+        )
+        assert result.evicted == [1]
+        assert order_respects_edges(graph, result)
+
+    def test_local_min_unwind_and_revisit(self):
+        # Cycle 0->1->2->0 where the cheapest vertex (0) is deepest in the
+        # DFS path: the sorter must unwind and re-explore 1 and 2.
+        graph = make_graph(3, [(0, 1), (1, 2), (2, 0)], lengths=[5, 100, 100])
+        result = cycle_breaking_toposort(
+            graph, LocallyMinimumPolicy(), costs=graph.costs()
+        )
+        assert result.evicted == [0]
+        assert result.revisits >= 1
+        assert sorted(result.order) == [1, 2]
+        assert order_respects_edges(graph, result)
+
+    def test_constant_never_revisits(self):
+        medley = rotation_medley(16, [3, 5, 9, 17])
+        graph = build_crwi_digraph(medley.script)
+        result = cycle_breaking_toposort(graph, ConstantTimePolicy())
+        assert result.revisits == 0
+        assert result.cycles_found == 4
+
+    def test_policy_must_choose_cycle_member(self):
+        class RoguePolicy:
+            name = "rogue"
+
+            def choose(self, cycle, costs):
+                return -1  # not a vertex at all
+
+        graph = make_graph(2, [(0, 1), (1, 0)])
+        with pytest.raises(CycleBreakError):
+            cycle_breaking_toposort(graph, RoguePolicy())
+
+    @pytest.mark.parametrize("policy_cls", [ConstantTimePolicy, LocallyMinimumPolicy])
+    def test_figure_cases_fully_resolved(self, policy_cls):
+        for case in (figure2_case(3), figure3_case(8), rotation_medley(8, [2, 4, 8])):
+            graph = build_crwi_digraph(case.script)
+            result = cycle_breaking_toposort(graph, policy_cls(), graph.costs())
+            assert is_feedback_vertex_set(graph, result.evicted)
+            assert order_respects_edges(graph, result)
+            assert len(result.order) + len(result.evicted) == graph.vertex_count
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_digraphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 40)
+        edges = set()
+        for _ in range(rng.randint(0, 3 * n)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.add((u, v))
+        graph = make_graph(n, sorted(edges),
+                           lengths=[rng.randint(5, 500) for _ in range(n)])
+        for policy in (ConstantTimePolicy(), LocallyMinimumPolicy()):
+            result = cycle_breaking_toposort(graph, policy, graph.costs())
+            assert is_feedback_vertex_set(graph, result.evicted), (seed, policy.name)
+            assert order_respects_edges(graph, result), (seed, policy.name)
+            assert len(result.order) + len(result.evicted) == n
+            assert len(set(result.order) | set(result.evicted)) == n
+
+
+class TestPlainToposort:
+    def test_orders_dag(self):
+        graph = make_graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        order = plain_toposort(graph)
+        pos = {v: i for i, v in enumerate(order)}
+        assert pos[0] < pos[1] < pos[3]
+        assert pos[0] < pos[2] < pos[3]
+
+    def test_raises_on_cycle(self):
+        graph = make_graph(2, [(0, 1), (1, 0)])
+        with pytest.raises(CycleBreakError):
+            plain_toposort(graph)
+
+    def test_excluding_breaks_cycle(self):
+        graph = make_graph(3, [(0, 1), (1, 0), (1, 2)])
+        order = plain_toposort(graph, excluding=[0])
+        assert sorted(order) == [1, 2]
+
+
+class TestLocalityToposort:
+    def test_valid_topological_order(self):
+        from repro.core.toposort import locality_toposort
+
+        graph = make_graph(6, [(0, 3), (3, 1), (4, 5)])
+        order = locality_toposort(graph)
+        pos = {v: i for i, v in enumerate(order)}
+        assert pos[0] < pos[3] < pos[1]
+        assert pos[4] < pos[5]
+        assert sorted(order) == list(range(6))
+
+    def test_unconstrained_vertices_stay_sequential(self):
+        from repro.core.toposort import locality_toposort
+
+        graph = make_graph(8, [])
+        assert locality_toposort(graph) == list(range(8))
+
+    def test_descending_run_emitted_contiguously(self):
+        # A right-shift chain forces 3 before 2 before 1; the nearest-
+        # neighbor frontier should emit the cascade contiguously rather
+        # than interleaving the distant vertices 6 and 7.
+        from repro.core.toposort import locality_toposort
+
+        graph = make_graph(8, [(3, 2), (2, 1)])
+        order = locality_toposort(graph)
+        i = order.index(3)
+        assert order[i:i + 3] == [3, 2, 1]
+
+    def test_raises_on_cycles(self):
+        from repro.core.toposort import locality_toposort
+        from repro.exceptions import CycleBreakError
+
+        graph = make_graph(2, [(0, 1), (1, 0)])
+        with pytest.raises(CycleBreakError):
+            locality_toposort(graph)
+
+    def test_excluding(self):
+        from repro.core.toposort import locality_toposort
+
+        graph = make_graph(3, [(0, 1), (1, 0)])
+        order = locality_toposort(graph, excluding=[1])
+        assert sorted(order) == [0, 2]
+
+    def test_converter_ordering_flag(self, rng=None):
+        import random
+
+        import repro
+        from repro.workloads import mutate
+
+        rng = random.Random(4)
+        ref = rng.randbytes(3000)
+        ver = mutate(ref, rng)
+        base = repro.diff(ref, ver)
+        for ordering in ("dfs", "locality"):
+            result = repro.make_in_place(base, ref, ordering=ordering)
+            buf = bytearray(ref)
+            repro.apply_in_place(result.script, buf, strict=True)
+            assert bytes(buf) == ver, ordering
+        with pytest.raises(ValueError):
+            repro.make_in_place(base, ref, ordering="sideways")

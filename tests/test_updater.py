@@ -1,0 +1,118 @@
+"""Unit tests for end-to-end update sessions (repro.device.updater)."""
+
+import random
+
+import pytest
+
+from repro.device.channel import Channel, get_channel
+from repro.device.memory import ConstrainedDevice
+from repro.device.updater import STRATEGIES, UpdateServer, run_update
+from repro.workloads import make_binary_blob, mutate
+
+
+@pytest.fixture(scope="module")
+def releases():
+    rng = random.Random(123)
+    old = make_binary_blob(rng, 30_000)
+    mid = mutate(old, rng)
+    new = mutate(mid, rng)
+    return old, mid, new
+
+
+@pytest.fixture
+def server(releases):
+    server = UpdateServer()
+    for image in releases:
+        server.publish("firmware", image)
+    return server
+
+
+class TestUpdateServer:
+    def test_publish_and_release(self, server, releases):
+        assert server.latest_release("firmware") == 2
+        assert server.release("firmware", 0) == releases[0]
+
+    def test_latest_unknown_package(self, server):
+        with pytest.raises(KeyError):
+            server.latest_release("ghost")
+
+    def test_payload_strategies_differ(self, server, releases):
+        full = server.build_payload("firmware", 0, 1, "full")
+        delta = server.build_payload("firmware", 0, 1, "delta")
+        in_place = server.build_payload("firmware", 0, 1, "in-place")
+        assert full == releases[1]
+        assert len(delta) < len(full)
+        assert len(in_place) < len(full)
+        # Write offsets make the in-place payload no smaller than the delta.
+        assert len(in_place) >= len(delta)
+
+    def test_unknown_strategy(self, server):
+        with pytest.raises(ValueError):
+            server.build_payload("firmware", 0, 1, "telepathy")
+
+
+class TestRunUpdate:
+    def test_in_place_on_constrained_device(self, server, releases):
+        device = ConstrainedDevice(releases[0], ram=24 * 1024)
+        outcome = run_update(server, device, get_channel("modem-56k"),
+                             "firmware", have=0, want=1, strategy="in-place")
+        assert outcome.succeeded, outcome.failure
+        assert device.image == releases[1]
+        assert outcome.payload_bytes < outcome.image_bytes
+        assert outcome.transfer_seconds > 0
+
+    def test_two_space_fails_on_constrained_device(self, server, releases):
+        device = ConstrainedDevice(releases[0], ram=24 * 1024)
+        outcome = run_update(server, device, get_channel("modem-56k"),
+                             "firmware", have=0, want=1, strategy="delta")
+        assert not outcome.succeeded
+        assert "OutOfMemoryError" in outcome.failure
+
+    def test_two_space_succeeds_with_ram(self, server, releases):
+        device = ConstrainedDevice(releases[0], ram=256 * 1024)
+        outcome = run_update(server, device, get_channel("modem-56k"),
+                             "firmware", have=0, want=1, strategy="delta")
+        assert outcome.succeeded, outcome.failure
+
+    def test_full_strategy(self, server, releases):
+        device = ConstrainedDevice(releases[0], ram=256 * 1024)
+        outcome = run_update(server, device, get_channel("modem-56k"),
+                             "firmware", have=0, want=1, strategy="full")
+        assert outcome.succeeded
+        assert outcome.payload_bytes == len(releases[1])
+        assert outcome.compression_ratio == pytest.approx(1.0)
+
+    def test_want_defaults_to_latest(self, server, releases):
+        device = ConstrainedDevice(releases[1], ram=24 * 1024)
+        outcome = run_update(server, device, get_channel("modem-56k"),
+                             "firmware", have=1, strategy="in-place")
+        assert outcome.succeeded
+        assert device.image == releases[2]
+
+    def test_chained_updates(self, server, releases):
+        device = ConstrainedDevice(releases[0], ram=24 * 1024)
+        for have, want in ((0, 1), (1, 2)):
+            outcome = run_update(server, device, get_channel("isdn-128k"),
+                                 "firmware", have=have, want=want,
+                                 strategy="in-place")
+            assert outcome.succeeded, outcome.failure
+        assert device.image == releases[2]
+        assert device.updates_applied == 2
+
+    def test_in_place_payload_smaller_than_image(self, server, releases):
+        device = ConstrainedDevice(releases[0], ram=24 * 1024)
+        outcome = run_update(server, device, get_channel("cellular-9.6k"),
+                             "firmware", have=0, want=1, strategy="in-place")
+        # The motivating win: delta transfer is several times faster.
+        full_time = get_channel("cellular-9.6k").transfer_time(len(releases[1]))
+        assert outcome.transfer_seconds < full_time / 2
+
+    def test_retransmission_on_corruption(self, server, releases):
+        # 60% corruption: retries should usually recover for two-space.
+        lossy = Channel("lossy", 56_000, corruption_rate=0.6)
+        device = ConstrainedDevice(releases[0], ram=256 * 1024)
+        outcome = run_update(server, device, lossy, "firmware", have=0, want=1,
+                             strategy="delta", max_retries=50,
+                             rng=random.Random(1))
+        assert outcome.succeeded
+        assert outcome.attempts > 1

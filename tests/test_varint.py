@@ -1,0 +1,59 @@
+"""Unit tests for LEB128 varints (repro.delta.varint)."""
+
+import pytest
+
+from repro.delta.varint import decode_varint, encode_varint, varint_size
+from repro.exceptions import DeltaFormatError
+
+
+class TestEncode:
+    def test_single_byte_values(self):
+        assert encode_varint(0) == b"\x00"
+        assert encode_varint(1) == b"\x01"
+        assert encode_varint(127) == b"\x7f"
+
+    def test_multi_byte_values(self):
+        assert encode_varint(128) == b"\x80\x01"
+        assert encode_varint(300) == b"\xac\x02"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+
+class TestDecode:
+    def test_round_trip_boundaries(self):
+        for value in [0, 1, 127, 128, 16383, 16384, 2097151, 2097152,
+                      (1 << 32) - 1, 1 << 32, (1 << 63) - 1]:
+            encoded = encode_varint(value)
+            decoded, offset = decode_varint(encoded)
+            assert decoded == value
+            assert offset == len(encoded)
+
+    def test_decode_at_offset(self):
+        data = b"\xff" + encode_varint(300)
+        value, offset = decode_varint(data, 1)
+        assert value == 300
+        assert offset == 3
+
+    def test_truncated(self):
+        with pytest.raises(DeltaFormatError):
+            decode_varint(b"\x80")
+
+    def test_empty(self):
+        with pytest.raises(DeltaFormatError):
+            decode_varint(b"")
+
+    def test_overlong(self):
+        with pytest.raises(DeltaFormatError):
+            decode_varint(b"\x80" * 11)
+
+
+class TestSize:
+    def test_matches_encoding(self):
+        for value in [0, 1, 127, 128, 300, 16383, 16384, 1 << 20, 1 << 40]:
+            assert varint_size(value) == len(encode_varint(value))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            varint_size(-5)

@@ -1,0 +1,131 @@
+"""Unit tests for the Equation-2 safety verifier (repro.core.verify)."""
+
+import pytest
+
+from repro.core.apply import apply_in_place
+from repro.core.commands import AddCommand, CopyCommand, DeltaScript
+from repro.core.verify import (
+    adds_are_last,
+    check_in_place_safe,
+    count_wr_conflicts,
+    find_first_conflict,
+    is_in_place_safe,
+    lint_in_place,
+)
+from repro.exceptions import WriteBeforeReadError
+
+
+def conflicting_script() -> DeltaScript:
+    """Command 0 writes [0,1]; command 1 then reads [0,1]: WR conflict."""
+    return DeltaScript(
+        [CopyCommand(4, 0, 2), CopyCommand(0, 2, 2)], version_length=4
+    )
+
+
+def safe_script() -> DeltaScript:
+    """The same two commands in the conflict-free order."""
+    return DeltaScript(
+        [CopyCommand(0, 2, 2), CopyCommand(4, 0, 2)], version_length=4
+    )
+
+
+class TestFindFirstConflict:
+    def test_detects(self):
+        assert find_first_conflict(conflicting_script()) == (0, 1)
+
+    def test_safe_order(self):
+        assert find_first_conflict(safe_script()) is None
+
+    def test_add_can_conflict_as_writer(self):
+        # An add writes; a later copy reading those bytes conflicts.
+        script = DeltaScript(
+            [AddCommand(0, b"xxxx"), CopyCommand(2, 4, 4)], version_length=8
+        )
+        assert find_first_conflict(script) == (0, 1)
+
+    def test_adds_never_conflict_as_readers(self):
+        script = DeltaScript(
+            [CopyCommand(4, 0, 4), AddCommand(4, b"yyyy")], version_length=8
+        )
+        assert find_first_conflict(script) is None
+
+    def test_self_overlap_is_not_a_conflict(self):
+        script = DeltaScript([CopyCommand(0, 2, 6)], version_length=8)
+        assert find_first_conflict(script) is None
+
+    def test_empty_script(self):
+        assert find_first_conflict(DeltaScript([], 0)) is None
+
+
+class TestCheckers:
+    def test_check_raises_with_positions(self):
+        with pytest.raises(WriteBeforeReadError) as excinfo:
+            check_in_place_safe(conflicting_script())
+        assert excinfo.value.writer_index == 0
+        assert excinfo.value.reader_index == 1
+
+    def test_check_passes(self):
+        check_in_place_safe(safe_script())
+
+    def test_is_in_place_safe(self):
+        assert is_in_place_safe(safe_script())
+        assert not is_in_place_safe(conflicting_script())
+
+    def test_static_and_dynamic_checks_agree(self):
+        # The strict applier and the static verifier must fail on exactly
+        # the same scripts.
+        for script in (conflicting_script(), safe_script()):
+            static_ok = is_in_place_safe(script)
+            buf = bytearray(b"01234567")
+            try:
+                apply_in_place(script, buf, strict=True)
+                dynamic_ok = True
+            except WriteBeforeReadError:
+                dynamic_ok = False
+            assert static_ok == dynamic_ok
+
+
+class TestCountConflicts:
+    def test_zero_for_safe(self):
+        assert count_wr_conflicts(safe_script()) == 0
+
+    def test_counts_pairs(self):
+        assert count_wr_conflicts(conflicting_script()) == 1
+
+    def test_multiple(self):
+        # Three copies each writing what the next reads, in the bad order.
+        script = DeltaScript(
+            [
+                CopyCommand(4, 0, 4),   # writes [0,3]
+                CopyCommand(0, 4, 4),   # reads [0,3]: conflict with #0
+                CopyCommand(2, 8, 4),   # reads [2,5]: conflicts with #0 and #1
+            ],
+            version_length=12,
+        )
+        assert count_wr_conflicts(script) == 3
+
+
+class TestLayoutAndLint:
+    def test_adds_are_last(self):
+        assert adds_are_last(
+            DeltaScript([CopyCommand(0, 0, 2), AddCommand(2, b"x")], 3)
+        )
+        assert not adds_are_last(
+            DeltaScript([AddCommand(2, b"x"), CopyCommand(0, 0, 2)], 3)
+        )
+
+    def test_lint_clean(self):
+        assert lint_in_place(safe_script(), reference_length=8) == []
+
+    def test_lint_reports_each_problem(self):
+        script = DeltaScript(
+            [AddCommand(0, b"xxxx"), CopyCommand(2, 4, 4)], version_length=8
+        )
+        problems = lint_in_place(script)
+        assert any("safety" in p for p in problems)
+        assert any("layout" in p for p in problems)
+
+    def test_lint_structure(self):
+        script = DeltaScript([CopyCommand(0, 0, 4)], version_length=10)
+        problems = lint_in_place(script)
+        assert any("structure" in p for p in problems)

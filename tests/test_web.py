@@ -1,0 +1,65 @@
+"""Tests for the HTTP-object workload (repro.workloads.web)."""
+
+import pytest
+
+import repro
+from repro.workloads.web import WebSite, fetch_sequence
+
+
+class TestWebSite:
+    def test_deterministic(self):
+        a, b = WebSite(seed=5), WebSite(seed=5)
+        assert a.snapshot(0) == b.snapshot(0)
+        a.evolve()
+        b.evolve()
+        assert a.snapshot(0) == b.snapshot(0)
+
+    def test_pages_are_html(self):
+        site = WebSite()
+        for page in site.pages:
+            html = site.snapshot(page).decode("ascii")
+            assert html.startswith("<html>")
+            assert html.rstrip().endswith("</html>")
+            assert "Section %d" % page in html
+
+    def test_evolve_changes_some_bytes(self):
+        site = WebSite()
+        before = site.snapshot(0)
+        site.evolve()
+        after = site.snapshot(0)
+        assert before != after
+
+    def test_template_mostly_persists(self):
+        """The [10] observation the workload encodes: successive fetches
+        share most of their bytes (delta compresses well)."""
+        site = WebSite()
+        total_page = total_delta = 0
+        for cached, fresh in fetch_sequence(site, 0, 5):
+            script = repro.diff(cached, fresh)
+            total_page += len(fresh)
+            total_delta += script.added_bytes
+        assert total_delta < 0.5 * total_page
+
+    def test_fetch_sequence_chains(self):
+        site = WebSite()
+        pairs = list(fetch_sequence(site, 1, 4))
+        assert len(pairs) == 4
+        for (a_prev, a_cur), (b_prev, b_cur) in zip(pairs, pairs[1:]):
+            assert a_cur == b_prev  # each fetch becomes the next cache entry
+
+    def test_in_place_cache_update_round_trip(self):
+        site = WebSite(seed=11)
+        for cached, fresh in fetch_sequence(site, 2, 3):
+            result = repro.diff_in_place(cached, fresh)
+            slot = bytearray(cached)
+            repro.apply_in_place(result.script, slot, strict=True)
+            assert bytes(slot) == fresh
+
+    def test_counters_always_move(self):
+        site = WebSite()
+        stamps = set()
+        for _ in range(4):
+            site.evolve()
+            html = site.snapshot(0)
+            stamps.add(html[html.index(b"cycle "):html.index(b"</address>")])
+        assert len(stamps) == 4

@@ -1,0 +1,150 @@
+"""Tests for the compressed transport envelope (repro.delta.wrapper)."""
+
+import io
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.delta import (
+    FORMAT_INPLACE,
+    SealedReader,
+    encode_delta,
+    is_sealed,
+    seal,
+    unseal,
+    version_checksum,
+)
+from repro.delta.stream import apply_delta_stream, iter_delta_commands
+from repro.device import ConstrainedDevice, UpdateServer, get_channel, run_update
+from repro.exceptions import DeltaFormatError
+from repro.workloads import make_source_file, mutate
+
+
+class TestSealUnseal:
+    def test_round_trip(self):
+        payload = b"compressible " * 200
+        sealed = seal(payload)
+        assert is_sealed(sealed)
+        assert len(sealed) < len(payload)
+        assert unseal(sealed) == payload
+
+    def test_incompressible_stays_raw(self, rng):
+        payload = rng.randbytes(500)
+        assert seal(payload) == payload  # wrapping would only grow it
+
+    def test_unseal_passthrough(self):
+        assert unseal(b"raw bytes") == b"raw bytes"
+
+    def test_corrupt_stream_rejected(self):
+        sealed = bytearray(seal(b"compressible " * 100))
+        sealed[10] ^= 0xFF
+        with pytest.raises(DeltaFormatError):
+            unseal(bytes(sealed))
+
+    def test_length_mismatch_rejected(self):
+        sealed = bytearray(seal(b"compressible " * 100))
+        sealed[4] ^= 0x01  # tamper with the raw-length varint
+        with pytest.raises(DeltaFormatError):
+            unseal(bytes(sealed))
+
+    @given(payload=st.binary(min_size=0, max_size=3_000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_round_trip(self, payload):
+        assert unseal(seal(payload)) == payload
+
+
+class TestSealedReader:
+    def test_reads_match_payload(self):
+        payload = b"0123456789" * 500
+        reader = SealedReader(seal(payload))
+        out = bytearray()
+        while True:
+            chunk = reader.read(7)
+            if not chunk:
+                break
+            out += chunk
+        assert bytes(out) == payload
+
+    def test_raw_mode(self):
+        reader = SealedReader(b"plain payload")
+        assert reader.read(5) == b"plain"
+        assert reader.read(-1) == b" payload"
+
+    def test_read_all(self):
+        payload = b"abc" * 100
+        assert SealedReader(seal(payload)).read(-1) == payload
+
+    def test_bad_chunk(self):
+        with pytest.raises(ValueError):
+            SealedReader(b"", chunk=0)
+
+    def test_feeds_streaming_decoder(self, sample_pair):
+        ref, ver = sample_pair
+        result = repro.diff_in_place(ref, ver)
+        payload = encode_delta(result.script, FORMAT_INPLACE)
+        sealed = seal(payload)
+        header, commands = iter_delta_commands(SealedReader(sealed))
+        assert header.version_length == len(ver)
+        buf = bytearray(ref)
+        apply_delta_stream(SealedReader(sealed), buf, strict=True)
+        assert bytes(buf) == ver
+
+
+class TestCompressedUpdates:
+    @pytest.fixture
+    def releases(self):
+        # Changelog growth: the new release prepends fresh *text*, so the
+        # delta's add data is compressible prose (unlike the random bytes
+        # the generic mutators insert).
+        import random
+
+        from repro.workloads import make_changelog
+
+        old = make_changelog(random.Random(5), 60_000)
+        new = make_changelog(random.Random(5), 240_000)
+        return old, new
+
+    def test_compressed_payloads_smaller(self, releases):
+        old, new = releases
+        plain = UpdateServer()
+        compressed = UpdateServer(transport_compress=True)
+        for server in (plain, compressed):
+            server.publish("pkg", old)
+            server.publish("pkg", new)
+        for strategy in ("full", "delta", "in-place"):
+            raw = plain.build_payload("pkg", 0, 1, strategy)
+            sealed = compressed.build_payload("pkg", 0, 1, strategy)
+            assert len(sealed) < len(raw), strategy
+
+    @pytest.mark.parametrize("strategy", ["full", "delta", "in-place",
+                                          "in-place-stream"])
+    def test_all_strategies_accept_sealed_payloads(self, releases, strategy):
+        old, new = releases
+        server = UpdateServer(transport_compress=True)
+        server.publish("pkg", old)
+        server.publish("pkg", new)
+        device = ConstrainedDevice(old, ram=2 * len(new) + 256 * 1024)
+        outcome = run_update(server, device, get_channel("modem-56k"), "pkg",
+                             have=0, strategy=strategy)
+        assert outcome.succeeded, (strategy, outcome.failure)
+        assert device.image == new
+
+    def test_streaming_sealed_needs_only_inflate_window(self, releases):
+        old, new = releases
+        server = UpdateServer(transport_compress=True)
+        server.publish("pkg", old)
+        server.publish("pkg", new)
+        payload = server.build_payload("pkg", 0, 1, "in-place-stream")
+        raw_size = len(unseal(payload))
+        # RAM: payload is NOT staged; budget covers received bytes +
+        # inflate window + stream buffer + copy window, but NOT the raw
+        # delta — proving streaming decompression works.
+        from repro.delta.wrapper import INFLATE_RAM
+
+        ram = len(payload) + INFLATE_RAM + 512 + 4096 + 1024
+        assert ram < len(payload) + raw_size  # the point of the test
+        device = ConstrainedDevice(old, ram=ram, copy_window=4096)
+        device.apply_delta_streaming(payload)
+        assert device.image == new
