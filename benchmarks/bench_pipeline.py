@@ -1,0 +1,114 @@
+"""Batch serving: one reference, many versions, shared reference index.
+
+The deployment the paper targets (section 6: http servers, fleets of
+low-resource devices) serves MANY version files against ONE reference.
+The per-reference differencing state — here the greedy algorithm's
+exhaustive seed index — is a pure function of the reference, yet the
+naive loop rebuilds it for every job; on versions with long common
+strings the rebuild dominates, since the scan itself skips ahead by
+whole matches.  ``repro.pipeline`` amortizes it: build once into a
+:class:`ReferenceIndexCache`, fan the jobs across a pool.
+
+This bench times the naive serial cold loop against a warm-cache
+pooled batch (one reference, 10 versions, 4 workers) and requires the
+pipeline to be at least 2x faster end to end, with byte-identical
+deltas.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import write_report
+from repro.analysis.tables import render_kv
+from repro.core.convert import make_in_place
+from repro.delta import FORMAT_INPLACE, encode_delta, greedy_delta, version_checksum
+from repro.pipeline import DeltaPipeline, PipelineJob
+from repro.workloads import make_source_file, mutate
+
+VERSIONS = 10
+WORKERS = 4
+
+
+def _batch(seed=19980601, size=180_000):
+    rng = random.Random(seed)
+    reference = make_source_file(rng, size)
+    return reference, [mutate(reference, rng) for _ in range(VERSIONS)]
+
+
+def test_pipeline_speedup_over_cold_serial_loop(benchmark):
+    reference, versions = _batch()
+    jobs = [PipelineJob(reference, v, "v%d" % i)
+            for i, v in enumerate(versions)]
+
+    def run():
+        # Baseline: the pre-pipeline serving loop — every job rebuilds
+        # the reference index inside greedy_delta.
+        t0 = time.perf_counter()
+        cold_payloads = []
+        for job in jobs:
+            script = greedy_delta(job.reference, job.version)
+            converted = make_in_place(script, job.reference)
+            cold_payloads.append(encode_delta(
+                converted.script, FORMAT_INPLACE,
+                version_crc32=version_checksum(job.version),
+            ))
+        cold_seconds = time.perf_counter() - t0
+
+        # Pipeline: warm the shared cache once, then fan the batch out.
+        with DeltaPipeline(algorithm="greedy", executor="thread",
+                           diff_workers=WORKERS, convert_workers=WORKERS,
+                           varint_pricing=False) as pipe:
+            pipe.warm([reference])
+            t0 = time.perf_counter()
+            batch = pipe.run(jobs)
+            warm_seconds = time.perf_counter() - t0
+        return cold_seconds, warm_seconds, batch, cold_payloads
+
+    cold_seconds, warm_seconds, batch, cold_payloads = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    identical = sum(
+        1 for result, payload in zip(batch.results, cold_payloads)
+        if result.payload == payload
+    )
+    diff_seconds = sum(r.report.diff_seconds for r in batch.results)
+    convert_seconds = sum(r.report.convert_seconds for r in batch.results)
+    speedup = cold_seconds / warm_seconds
+    write_report(
+        "pipeline_batch",
+        render_kv(
+            "cold serial loop vs warm-cache pipeline "
+            "(%d versions, 1 reference, %d workers)" % (VERSIONS, WORKERS),
+            [
+                ("byte-identical deltas", "%d / %d" % (identical, len(jobs))),
+                ("cold serial loop", "%.2f s" % cold_seconds),
+                ("warm pipeline batch", "%.2f s" % warm_seconds),
+                ("speedup", "%.2fx" % speedup),
+                ("cache hit rate", "%.0f%%" % (100.0 * batch.cache_hit_rate)),
+                ("cache lookups (hits/misses)", "%d/%d" % (
+                    batch.cache_stats.hits, batch.cache_stats.misses)),
+                ("summed diff stage", "%.2f s" % diff_seconds),
+                ("summed convert stage", "%.2f s" % convert_seconds),
+                ("batch wall clock", "%.2f s" % batch.wall_seconds),
+            ],
+        ),
+    )
+    assert identical == len(jobs), "cache must not change any delta"
+    assert batch.cache_hit_rate == 1.0
+    assert speedup >= 2.0, (
+        "warm pipeline must be at least 2x the cold loop, got %.2fx" % speedup
+    )
+
+
+def test_bench_pipeline_kernel(benchmark):
+    """Steady-state batch throughput with a persistent warm pipeline."""
+    reference, versions = _batch(seed=7, size=60_000)
+    jobs = [PipelineJob(reference, v, "v%d" % i)
+            for i, v in enumerate(versions)]
+    with DeltaPipeline(algorithm="greedy", executor="thread",
+                       diff_workers=WORKERS) as pipe:
+        pipe.warm([reference])
+        benchmark(lambda: pipe.run(jobs))

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Union
 
-from . import analysis, bundle, core, delta, device, exceptions, workloads
+from . import analysis, bundle, core, delta, device, exceptions, pipeline, workloads
 from .core import (
     AddCommand,
     FillCommand,
@@ -61,6 +61,14 @@ from .delta import (
     encoded_size,
     greedy_delta,
     onepass_delta,
+)
+from .pipeline import (
+    BatchReport,
+    DeltaPipeline,
+    PipelineJob,
+    PipelineReport,
+    PipelineResult,
+    ReferenceIndexCache,
 )
 
 __version__ = "1.0.0"
@@ -110,11 +118,13 @@ def patch_in_place(buffer: bytearray, payload: bytes) -> bytearray:
 __all__ = [
     "ALGORITHMS",
     "AddCommand",
+    "BatchReport",
     "Buffer",
     "CRWIDigraph",
     "ConstantTimePolicy",
     "ConversionReport",
     "CopyCommand",
+    "DeltaPipeline",
     "DeltaScript",
     "FORMAT_INPLACE",
     "FillCommand",
@@ -123,6 +133,10 @@ __all__ = [
     "InPlaceResult",
     "Interval",
     "LocallyMinimumPolicy",
+    "PipelineJob",
+    "PipelineReport",
+    "PipelineResult",
+    "ReferenceIndexCache",
     "analysis",
     "apply_delta",
     "bundle",
@@ -150,6 +164,7 @@ __all__ = [
     "optimize_script",
     "patch",
     "patch_in_place",
+    "pipeline",
     "reconstruct",
     "workloads",
 ]

@@ -11,6 +11,8 @@ Subcommands mirror the library's pipeline:
 * ``tree-patch`` — apply an upgrade bundle to a directory, in place
 * ``corpus``   — materialize the synthetic benchmark corpus to a directory
 * ``report``   — regenerate the paper's headline evaluation in one shot
+* ``pipeline`` — batch-encode many versions against one reference with
+  the cached, pooled :class:`~repro.pipeline.DeltaPipeline`
 
 Exit status is 0 on success, 1 on a library error (bad input files,
 unsafe delta, ...), 2 on usage errors (argparse's convention).
@@ -47,6 +49,7 @@ from .delta.encode import (
     version_checksum,
 )
 from .exceptions import ReproError
+from .pipeline import EXECUTORS, DeltaPipeline, PipelineJob
 from .workloads.corpus import Corpus
 
 
@@ -256,6 +259,59 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    reference = _read(args.reference)
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    jobs = []
+    used_names = set()
+    for path in args.versions:
+        name = Path(path).name
+        if name in used_names:  # distinct inputs may share a basename
+            stem = name
+            serial = 2
+            while name in used_names:
+                name = "%s.%d" % (stem, serial)
+                serial += 1
+        used_names.add(name)
+        jobs.append(PipelineJob(reference, _read(path), name))
+    with DeltaPipeline(
+        algorithm=args.algorithm,
+        policy=args.policy,
+        ordering=args.ordering,
+        scratch_budget=args.scratch,
+        executor=args.executor,
+        diff_workers=args.workers,
+        convert_workers=args.workers,
+        cache_bytes=args.cache_bytes,
+    ) as pipe:
+        if args.executor != "process":
+            pipe.warm([reference])
+        batch = pipe.run(jobs)
+    rows = [["version", "delta", "ratio", "cache", "diff ms", "convert ms", "evict cost"]]
+    for result in batch.results:
+        report = result.report
+        target = out_dir / (report.name + ".ipd")
+        target.write_bytes(result.payload)
+        rows.append([
+            report.name,
+            format_bytes(report.delta_bytes),
+            "%.1f%%" % (100.0 * report.delta_bytes / max(1, report.version_bytes)),
+            "hit" if report.cache_hit else "miss",
+            "%.1f" % (1e3 * report.diff_seconds),
+            "%.1f" % (1e3 * report.convert_seconds),
+            str(report.conversion.eviction_cost if report.conversion else 0),
+        ])
+    print(render_table(rows))
+    print(
+        "encoded %d deltas in %.3fs (%s executor, %d workers); "
+        "cache hit rate %.0f%%"
+        % (batch.jobs, batch.wall_seconds, args.executor, pipe.diff_workers,
+           100.0 * batch.cache_hit_rate)
+    )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import generate_report
 
@@ -349,6 +405,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(func=_cmd_corpus)
 
+    p = sub.add_parser(
+        "pipeline",
+        help="batch-encode many versions against one reference",
+    )
+    p.add_argument("reference")
+    p.add_argument("versions", nargs="+", help="version files to encode")
+    p.add_argument("--output-dir", required=True, metavar="DIR",
+                   help="directory receiving one <version>.ipd per input")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="correcting")
+    p.add_argument("--policy", default="local-min",
+                   choices=["constant", "local-min", "max-out-degree",
+                            "optimal", "greedy-global"])
+    p.add_argument("--ordering", choices=["dfs", "locality"], default="dfs")
+    p.add_argument("--scratch", type=int, default=0, metavar="BYTES")
+    p.add_argument("--executor", choices=list(EXECUTORS), default="thread")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--cache-bytes", type=int, default=128 << 20,
+                   metavar="BYTES", help="reference index cache budget")
+    p.set_defaults(func=_cmd_pipeline)
+
     p = sub.add_parser("report", help="regenerate the paper's evaluation")
     p.add_argument("--scale", type=float, default=0.3)
     p.add_argument("--packages", type=int, default=8)
@@ -365,7 +441,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ReproError, OSError) as exc:
+    except (ReproError, OSError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 1
 

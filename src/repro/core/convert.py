@@ -34,7 +34,7 @@ from .commands import (
     FillCommand,
     SpillCommand,
 )
-from .crwi import CRWIDigraph, build_crwi_digraph
+from .crwi import CRWIDigraph, OffsetPricing, build_crwi_digraph, field_width
 from .policies import (
     CyclePolicy,
     exact_minimum_evictions,
@@ -52,6 +52,8 @@ from .toposort import (
 PER_CYCLE_POLICIES = ("constant", "local-min", "max-out-degree")
 #: Strategies that pick the whole eviction set before sorting.
 WHOLE_GRAPH_POLICIES = ("optimal", "greedy-global")
+#: Valid topological orderings of the surviving copies.
+ORDERINGS = ("dfs", "locality")
 
 
 @dataclass
@@ -68,8 +70,13 @@ class ConversionReport:
     evicted_count: int = 0
     #: Literal bytes the evicted copies now carry in the delta.
     evicted_bytes: int = 0
-    #: Compression cost per the paper's cost model, sum of (l - |f|) over
-    #: copy-to-add conversions plus the codeword overhead of spills.
+    #: Compression cost of the evictions.  Under the legacy fixed-width
+    #: model (``offset_encoding_size`` an int) this is the paper's sum of
+    #: ``max(1, l - |f|)`` over copy-to-add conversions plus a fixed
+    #: codeword overhead per spill.  When a per-offset size function is
+    #: supplied (varint pricing) it is instead the *exact* growth of the
+    #: encoded delta: ``encoded_size(converted) - encoded_size(input)``
+    #: in the matching in-place wire format.
     eviction_cost: int = 0
     #: Evictions rescued by the scratch buffer (spill/fill pairs).
     spilled_count: int = 0
@@ -107,7 +114,7 @@ class InPlaceResult:
 def _resolve_evictions(
     graph: CRWIDigraph,
     policy: Union[str, CyclePolicy],
-    offset_encoding_size: int,
+    offset_encoding_size: OffsetPricing,
     ordering: str = "dfs",
 ) -> ToposortResult:
     """Run the sort/eviction stage under the named or given policy.
@@ -115,8 +122,14 @@ def _resolve_evictions(
     ``ordering="locality"`` re-sorts the surviving copies with the
     write-order-preferring Kahn pass (same eviction set, an order that
     minimizes jumps across the version file — cheaper on erase-block
-    flash).
+    flash).  An unknown ``ordering`` is rejected before any sort or
+    eviction work runs.
     """
+    if ordering not in ORDERINGS:
+        raise ValueError(
+            "unknown ordering %r; use %s"
+            % (ordering, " or ".join("'%s'" % o for o in ORDERINGS))
+        )
     costs = graph.costs(offset_encoding_size)
     if isinstance(policy, str) and policy in WHOLE_GRAPH_POLICIES:
         if policy == "optimal":
@@ -131,9 +144,27 @@ def _resolve_evictions(
         result = cycle_breaking_toposort(graph, cycle_policy, costs)
     if ordering == "locality":
         result.order = locality_toposort(graph, excluding=result.evicted)
-    elif ordering != "dfs":
-        raise ValueError("unknown ordering %r; use 'dfs' or 'locality'" % ordering)
     return result
+
+
+def _exact_eviction_growth(cmd: CopyCommand, pricing: OffsetPricing,
+                           max_add_chunk: int) -> int:
+    """Encoded-size growth of re-coding copy ``cmd`` as add commands.
+
+    Mirrors the wire format's codeword arithmetic
+    (:func:`repro.delta.encode.encoded_size`): the copy codeword
+    ``op|f|t|l`` disappears, replaced by one add codeword
+    ``op|t|len-byte|data`` per ``max_add_chunk`` bytes of copied data.
+    """
+    copy_size = 1 + field_width(pricing, cmd.src) \
+        + field_width(pricing, cmd.dst) + field_width(pricing, cmd.length)
+    add_size = 0
+    done = 0
+    while done < cmd.length:
+        step = min(max_add_chunk, cmd.length - done)
+        add_size += 2 + field_width(pricing, cmd.dst + done) + step
+        done += step
+    return add_size - copy_size
 
 
 def assemble_in_place(
@@ -144,7 +175,7 @@ def assemble_in_place(
     *,
     policy_name: str,
     version_length: int,
-    offset_encoding_size: int = 4,
+    offset_encoding_size: OffsetPricing = 4,
     scratch_budget: int = 0,
     started: Optional[float] = None,
 ) -> InPlaceResult:
@@ -157,6 +188,12 @@ def assemble_in_place(
     """
     if started is None:
         started = time.perf_counter()
+    exact_pricing = callable(offset_encoding_size)
+    if exact_pricing:
+        # Deferred import: repro.delta depends on repro.core, so the
+        # wire-format constants cannot be imported at module load.
+        from ..delta.encode import MAX_ADD_CHUNK
+        from ..delta.varint import varint_size
     report = ConversionReport(
         policy=policy_name,
         copies_in=graph.vertex_count,
@@ -175,9 +212,10 @@ def assemble_in_place(
     fills: List[FillCommand] = []
     converted: List[AddCommand] = []
     scratch_cursor = 0
-    # A spill/fill pair replaces one copy codeword with two, each with an
-    # extra scratch-offset field.
-    spill_overhead = 2 + 3 * offset_encoding_size
+    # Legacy model: a spill/fill pair replaces one copy codeword with
+    # two, each with an extra scratch-offset field.
+    if not exact_pricing:
+        spill_overhead = 2 + 3 * offset_encoding_size
     for v in sorted(sort.evicted, key=lambda v: -graph.vertices[v].length):
         cmd = graph.vertices[v]
         report.evicted_count += 1
@@ -185,10 +223,18 @@ def assemble_in_place(
         if scratch_cursor + cmd.length <= scratch_budget:
             spills.append(SpillCommand(cmd.src, scratch_cursor, cmd.length))
             fills.append(FillCommand(scratch_cursor, cmd.dst, cmd.length))
+            if exact_pricing:
+                # spill + fill codewords minus the removed copy codeword:
+                # one extra opcode, the scratch offset twice, the length
+                # once (src and dst fields cancel out).
+                report.eviction_cost += 1 \
+                    + 2 * field_width(offset_encoding_size, scratch_cursor) \
+                    + field_width(offset_encoding_size, cmd.length)
+            else:
+                report.eviction_cost += spill_overhead
             scratch_cursor += cmd.length
             report.spilled_count += 1
             report.spilled_bytes += cmd.length
-            report.eviction_cost += spill_overhead
         else:
             if reference is None:
                 raise ReproError(
@@ -197,8 +243,17 @@ def assemble_in_place(
                     % cmd.length
                 )
             converted.append(cmd.to_add(reference))
-            report.eviction_cost += max(1, cmd.length - offset_encoding_size)
+            if exact_pricing:
+                report.eviction_cost += _exact_eviction_growth(
+                    cmd, offset_encoding_size, MAX_ADD_CHUNK
+                )
+            else:
+                report.eviction_cost += max(1, cmd.length - offset_encoding_size)
     report.scratch_used = scratch_cursor
+    if exact_pricing and scratch_cursor > 0:
+        # The header's scratch-length field (a varint in every wire
+        # format) grows from encoding 0 to encoding the used budget.
+        report.eviction_cost += varint_size(scratch_cursor) - 1
 
     # Spills first (reads only — always safe up front), surviving copies
     # in topological order, then fills and adds.
@@ -215,7 +270,7 @@ def make_in_place(
     reference: Optional[Union[bytes, bytearray, memoryview]] = None,
     *,
     policy: Union[str, CyclePolicy] = "local-min",
-    offset_encoding_size: int = 4,
+    offset_encoding_size: OffsetPricing = 4,
     scratch_budget: int = 0,
     ordering: str = "dfs",
 ) -> InPlaceResult:
@@ -226,7 +281,13 @@ def make_in_place(
     (exact, small inputs only) and ``"greedy-global"`` choose the whole
     eviction set up front; any :class:`CyclePolicy` instance is used
     per-cycle.  ``offset_encoding_size`` is ``|f|`` in the cost model —
-    the encoded size of the ``from`` field an eviction saves.
+    the encoded size of the ``from`` field an eviction saves.  An int
+    keeps the paper's fixed-width model; pass a per-offset size function
+    (``repro.delta.varint.varint_size`` for the default varint wire
+    format, ``lambda _: 4`` for the fixed format) to price evictions by
+    their true codeword widths, in which case the reported
+    ``eviction_cost`` equals the exact encoded-size growth of the
+    conversion in the matching in-place format.
 
     ``ordering`` selects among valid topological orders: ``"dfs"`` (the
     sort's natural reverse postorder) or ``"locality"`` (stay as close to
@@ -278,7 +339,7 @@ def compare_policies(
     reference: Optional[Union[bytes, bytearray, memoryview]] = None,
     policies: Sequence[Union[str, CyclePolicy]] = ("constant", "local-min"),
     *,
-    offset_encoding_size: int = 4,
+    offset_encoding_size: OffsetPricing = 4,
 ) -> List[InPlaceResult]:
     """Convert ``script`` once per policy; used by the policy benches."""
     return [

@@ -23,10 +23,22 @@ directional copying at apply time (section 4.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .commands import CopyCommand, DeltaScript
 from .intervals import Interval, IntervalIndex
+
+#: The ``|f|`` term of the eviction cost model: either a fixed field
+#: width in bytes (the paper's 1998 codewords) or a function mapping an
+#: offset value to its encoded size (``repro.delta.varint.varint_size``
+#: for the library's default varint wire format, where a near offset
+#: costs 1 byte and a far one up to 5).
+OffsetPricing = Union[int, Callable[[int], int]]
+
+
+def field_width(pricing: OffsetPricing, value: int) -> int:
+    """Encoded size of an offset/length field ``value`` under ``pricing``."""
+    return pricing(value) if callable(pricing) else pricing
 
 
 @dataclass
@@ -54,18 +66,23 @@ class CRWIDigraph:
         """Number of directed conflict edges."""
         return sum(len(adj) for adj in self.successors)
 
-    def cost(self, vertex: int, offset_encoding_size: int = 4) -> int:
+    def cost(self, vertex: int, offset_encoding_size: OffsetPricing = 4) -> int:
         """Compression lost by evicting ``vertex`` (converting copy to add).
 
         Replacing copy ``<f, t, l>`` with add ``<t, l> + data`` grows the
         delta by ``l - |f|`` bytes, where ``|f|`` is the encoded size of
-        the dropped ``f`` field (section 5).  The cost is clamped at 1 so
-        every eviction has positive cost, as the optimization problem in
-        the paper requires.
+        the dropped ``f`` field (section 5).  Under the varint wire
+        format ``|f|`` depends on the offset value, so
+        ``offset_encoding_size`` accepts a per-offset size function
+        (``varint_size``) as well as a fixed width; the fixed default of
+        4 keeps the paper's 1998 codeword model.  The cost is clamped at
+        1 so every eviction has positive cost, as the optimization
+        problem in the paper requires.
         """
-        return max(1, self.vertices[vertex].length - offset_encoding_size)
+        cmd = self.vertices[vertex]
+        return max(1, cmd.length - field_width(offset_encoding_size, cmd.src))
 
-    def costs(self, offset_encoding_size: int = 4) -> List[int]:
+    def costs(self, offset_encoding_size: OffsetPricing = 4) -> List[int]:
         """Eviction costs for every vertex, in vertex order."""
         return [self.cost(v, offset_encoding_size) for v in range(self.vertex_count)]
 

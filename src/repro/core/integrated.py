@@ -28,7 +28,7 @@ from typing import List, Optional, Union
 
 from .commands import AddCommand, Command, CopyCommand
 from .convert import InPlaceResult, _resolve_evictions, assemble_in_place
-from .crwi import CRWIDigraph
+from .crwi import CRWIDigraph, OffsetPricing
 
 Buffer = Union[bytes, bytearray, memoryview]
 
@@ -112,13 +112,16 @@ class InPlaceDeltaBuilder:
         reference: Optional[Buffer] = None,
         *,
         policy: str = "local-min",
-        offset_encoding_size: int = 4,
+        offset_encoding_size: OffsetPricing = 4,
         scratch_budget: int = 0,
+        ordering: str = "dfs",
     ) -> InPlaceResult:
         """Sort, break cycles, and emit the in-place script.
 
         Semantics and report fields match
-        :func:`repro.core.convert.make_in_place` exactly.
+        :func:`repro.core.convert.make_in_place` exactly, including the
+        ``ordering`` choice (``"dfs"`` or ``"locality"``) and the
+        int-or-callable ``offset_encoding_size`` pricing model.
         """
         if scratch_budget < 0:
             raise ValueError(
@@ -126,7 +129,7 @@ class InPlaceDeltaBuilder:
             )
         started = time.perf_counter()
         graph = self._build_graph()
-        sort = _resolve_evictions(graph, policy, offset_encoding_size)
+        sort = _resolve_evictions(graph, policy, offset_encoding_size, ordering)
         policy_name = policy if isinstance(policy, str) else getattr(policy, "name", "custom")
         return assemble_in_place(
             graph,
@@ -148,6 +151,8 @@ def diff_in_place_integrated(
     algorithm: str = "correcting",
     policy: str = "local-min",
     scratch_budget: int = 0,
+    ordering: str = "dfs",
+    offset_encoding_size: OffsetPricing = 4,
     **kwargs,
 ) -> InPlaceResult:
     """Generate an in-place reconstructible delta directly.
@@ -170,5 +175,6 @@ def diff_in_place_integrated(
     for command in engine(reference, version, **kwargs).commands:
         builder.feed(command)
     return builder.finish(
-        reference, policy=policy, scratch_budget=scratch_budget
+        reference, policy=policy, scratch_budget=scratch_budget,
+        ordering=ordering, offset_encoding_size=offset_encoding_size,
     )

@@ -28,6 +28,7 @@ from .rolling import (
     iter_seed_hashes,
     match_length,
     match_length_backward,
+    seed_fingerprints,
 )
 from .varint import decode_varint, encode_varint, varint_size
 
@@ -69,6 +70,7 @@ __all__ = [
     "match_length",
     "match_length_backward",
     "onepass_delta",
+    "seed_fingerprints",
     "is_sealed",
     "seal",
     "tichy_delta",

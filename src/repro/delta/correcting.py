@@ -41,11 +41,19 @@ def correcting_delta(
     *,
     seed_length: int = DEFAULT_SEED_LENGTH,
     table_size: int = 1 << 16,
+    cache=None,
 ) -> DeltaScript:
     """Compute a delta script for ``version`` against ``reference``.
 
     Constant space: one fixed-size seed table over the reference.  Time
     linear in the inputs plus the lengths of verified matches.
+
+    The half-pass table is a pure function of the reference, so when one
+    reference serves many versions it can be built once: pass ``cache``
+    (a :class:`repro.pipeline.cache.ReferenceIndexCache`) and the table
+    is fetched by content digest instead of rebuilt.  The full pass only
+    reads the table, so the shared copy is never mutated and the output
+    script is byte-identical to the uncached call.
     """
     if seed_length <= 0:
         raise ValueError("seed_length must be positive, got %d" % seed_length)
@@ -56,10 +64,14 @@ def correcting_delta(
     if len_r < seed_length or len_v < seed_length:
         return builder.finish()
 
-    # Half pass: fingerprint every reference seed into the FCFS table.
-    table = SeedTable(table_size)
-    for offset, fingerprint in iter_seed_hashes(reference, seed_length):
-        table.insert(fingerprint, offset)
+    if cache is not None:
+        table = cache.seed_table(reference, seed_length=seed_length,
+                                 table_size=table_size)
+    else:
+        # Half pass: fingerprint every reference seed into the FCFS table.
+        table = SeedTable(table_size)
+        for offset, fingerprint in iter_seed_hashes(reference, seed_length):
+            table.insert(fingerprint, offset)
 
     # Full pass: scan the version, correcting backwards on each match.
     roller = RollingHash(seed_length)

@@ -15,7 +15,7 @@ compression work on arbitrary binaries.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 from ..core.commands import DeltaScript
 from .builder import ScriptBuilder
@@ -35,6 +35,8 @@ def greedy_delta(
     *,
     seed_length: int = DEFAULT_SEED_LENGTH,
     max_candidates: int = 64,
+    index: Optional[FullSeedIndex] = None,
+    cache=None,
 ) -> DeltaScript:
     """Compute a delta script encoding ``version`` against ``reference``.
 
@@ -42,6 +44,14 @@ def greedy_delta(
     ``max_candidates`` caps how many same-fingerprint reference positions
     are tried per version offset (pathological inputs such as long zero
     runs otherwise degrade to quadratic time).
+
+    Index construction is the dominant cost when one reference serves
+    many versions, so it can be amortized: pass ``index`` (a prebuilt
+    :class:`FullSeedIndex` over ``reference`` with matching
+    ``seed_length``) or ``cache`` (a
+    :class:`repro.pipeline.cache.ReferenceIndexCache`, consulted by
+    content digest).  Either way the output script is byte-identical to
+    the uncached call.
     """
     if seed_length <= 0:
         raise ValueError("seed_length must be positive, got %d" % seed_length)
@@ -52,7 +62,17 @@ def greedy_delta(
     if len(reference) < seed_length or n < seed_length:
         return builder.finish()  # nothing can match; whole version is one add
 
-    index = FullSeedIndex(reference, seed_length, max_candidates)
+    if index is not None:
+        if index.seed_length != seed_length:
+            raise ValueError(
+                "prebuilt index uses seed_length %d, call requested %d"
+                % (index.seed_length, seed_length)
+            )
+    elif cache is not None:
+        index = cache.full_index(reference, seed_length=seed_length,
+                                 max_candidates=max_candidates)
+    else:
+        index = FullSeedIndex(reference, seed_length, max_candidates)
     roller = RollingHash(seed_length)
     pos = 0
     fingerprint = roller.reset(version, 0)

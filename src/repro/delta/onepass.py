@@ -37,12 +37,20 @@ def onepass_delta(
     *,
     seed_length: int = DEFAULT_SEED_LENGTH,
     table_size: int = 1 << 16,
+    cache=None,
 ) -> DeltaScript:
     """Compute a delta script for ``version`` against ``reference``.
 
     ``table_size`` fixes the size of both seed tables and therefore the
     algorithm's memory footprint; smaller tables lose more matches on
     large inputs but never affect correctness.
+
+    The seed *tables* are interleaved with the tandem scan and cannot be
+    shared, but the reference-side rolling fingerprints the scan hashes
+    from are a pure function of the reference.  Pass ``cache`` (a
+    :class:`repro.pipeline.cache.ReferenceIndexCache`) to reuse them
+    across every version diffed against the same reference; the output
+    script is byte-identical to the uncached call.
     """
     if seed_length <= 0:
         raise ValueError("seed_length must be positive, got %d" % seed_length)
@@ -53,6 +61,10 @@ def onepass_delta(
     if len_r < seed_length or len_v < seed_length:
         return builder.finish()
 
+    fps_r = None
+    if cache is not None:
+        fps_r = cache.fingerprints(reference, seed_length=seed_length)
+
     table_r = SeedTable(table_size)
     table_v = SeedTable(table_size)
     roller_r = RollingHash(seed_length)
@@ -60,7 +72,7 @@ def onepass_delta(
 
     rc = 0  # reference cursor
     vc = 0  # version cursor
-    fp_r = roller_r.reset(reference, 0)
+    fp_r = fps_r[0] if fps_r is not None else roller_r.reset(reference, 0)
     fp_v = roller_v.reset(version, 0)
     r_live = True  # cursor fingerprints valid at rc / vc
     v_live = True
@@ -68,7 +80,7 @@ def onepass_delta(
     def reseed_r(at: int) -> bool:
         nonlocal fp_r
         if at + seed_length <= len_r:
-            fp_r = roller_r.reset(reference, at)
+            fp_r = fps_r[at] if fps_r is not None else roller_r.reset(reference, at)
             return True
         return False
 
@@ -127,7 +139,10 @@ def onepass_delta(
         # No match under either cursor: advance both one byte.
         if r_live and rc + seed_length <= len_r:
             if rc + seed_length < len_r:
-                fp_r = roller_r.update(reference[rc], reference[rc + seed_length])
+                if fps_r is not None:
+                    fp_r = fps_r[rc + 1]
+                else:
+                    fp_r = roller_r.update(reference[rc], reference[rc + seed_length])
                 rc += 1
             else:
                 rc += 1

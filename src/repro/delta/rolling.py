@@ -84,6 +84,20 @@ def iter_seed_hashes(data: Buffer, seed_length: int) -> Iterator[Tuple[int, int]
         yield offset, value
 
 
+def seed_fingerprints(data: Buffer, seed_length: int = DEFAULT_SEED_LENGTH) -> List[int]:
+    """Materialized rolling fingerprints for every seed offset of ``data``.
+
+    ``result[i]`` is the Karp-Rabin fingerprint of
+    ``data[i:i+seed_length]`` — what :meth:`RollingHash.reset` at ``i``
+    (or the equivalent chain of updates) returns.  Precomputing the list
+    lets a scan that repeatedly re-seeds over the same buffer (and a
+    cache serving many scans of one reference, see
+    :class:`repro.pipeline.cache.ReferenceIndexCache`) skip the per-byte
+    rolling arithmetic entirely.
+    """
+    return [fp for _offset, fp in iter_seed_hashes(data, seed_length)]
+
+
 class SeedTable:
     """Fixed-size seed table with first-come-first-served insertion.
 

@@ -1,0 +1,43 @@
+"""Batch delta serving: shared reference caches and the job pipeline.
+
+One reference file usually serves many version files (fleet updates,
+mirror sync).  This package amortizes the reference-side work across
+that fan-out: :class:`ReferenceIndexCache` shares the per-reference
+differencing state (seed indexes, tables, fingerprints) by content
+digest, and :class:`DeltaPipeline` fans (reference, version) jobs across
+``concurrent.futures`` pools, running diff -> in-place conversion ->
+wire encoding per job and reporting per-stage timings plus cache
+behaviour.
+"""
+
+from .cache import (
+    ALGORITHM_KINDS,
+    KIND_FINGERPRINTS,
+    KIND_FULL_INDEX,
+    KIND_SEED_TABLE,
+    CacheStats,
+    ReferenceIndexCache,
+)
+from .executor import (
+    EXECUTORS,
+    BatchReport,
+    DeltaPipeline,
+    PipelineJob,
+    PipelineReport,
+    PipelineResult,
+)
+
+__all__ = [
+    "ALGORITHM_KINDS",
+    "BatchReport",
+    "CacheStats",
+    "DeltaPipeline",
+    "EXECUTORS",
+    "KIND_FINGERPRINTS",
+    "KIND_FULL_INDEX",
+    "KIND_SEED_TABLE",
+    "PipelineJob",
+    "PipelineReport",
+    "PipelineResult",
+    "ReferenceIndexCache",
+]

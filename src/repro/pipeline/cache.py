@@ -1,0 +1,292 @@
+"""Shared, byte-budgeted cache of per-reference differencing state.
+
+In a batch or serving deployment one reference file is diffed against
+many version files (mirror sync, firmware fleets, web caches — the
+client/server shape of DeltaFS and the file-sync literature), yet every
+differencing call in this library rebuilt its reference-derived state
+from scratch: the greedy algorithm's exhaustive
+:class:`~repro.delta.rolling.FullSeedIndex`, the correcting algorithm's
+half-pass :class:`~repro.delta.rolling.SeedTable`, and the one-pass
+algorithm's reference-side rolling fingerprints.  All three artifacts
+are pure functions of ``(reference bytes, seed parameters)``, so sharing
+them across versions changes *nothing* about the output scripts — only
+how often the per-byte construction loops run.
+
+:class:`ReferenceIndexCache` is that sharing layer: an LRU keyed by the
+reference's content digest plus the construction parameters, bounded by
+an approximate byte budget.  It is thread-safe; cached artifacts are
+treated as immutable after construction (the differs only read them),
+so one instance can back a whole thread pool.  Process pools hold one
+cache per worker process (see :mod:`repro.pipeline.executor`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..delta.rolling import (
+    DEFAULT_SEED_LENGTH,
+    FullSeedIndex,
+    SeedTable,
+    iter_seed_hashes,
+    seed_fingerprints,
+)
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+#: Cached artifact kinds, one per differencing algorithm family.
+KIND_FULL_INDEX = "full-index"
+KIND_SEED_TABLE = "seed-table"
+KIND_FINGERPRINTS = "fingerprints"
+
+#: Differencing algorithm name -> the reference artifact it consumes.
+#: Algorithms absent here (e.g. ``tichy``) build no reusable
+#: reference-side state and bypass the cache.
+ALGORITHM_KINDS: Dict[str, str] = {
+    "greedy": KIND_FULL_INDEX,
+    "correcting": KIND_SEED_TABLE,
+    "onepass": KIND_FINGERPRINTS,
+}
+
+#: Rough per-stored-position overhead of a FullSeedIndex (dict entry,
+#: list slot, int object) and per-fingerprint overhead of a fingerprint
+#: list.  The budget is approximate by design: it exists to bound
+#: memory, not to account it exactly.
+_POSITION_BYTES = 120
+_FINGERPRINT_BYTES = 36
+_SLOT_BYTES = 8
+_STORED_OFFSET_BYTES = 28
+
+
+@dataclass
+class CacheStats:
+    """Point-in-time counters of one :class:`ReferenceIndexCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    current_bytes: int = 0
+    max_bytes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total artifact requests served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class ReferenceIndexCache:
+    """LRU cache of reference-derived differencing artifacts.
+
+    ``max_bytes`` bounds the *estimated* resident size of the cached
+    artifacts (plus the reference bytes an artifact keeps alive).  An
+    artifact larger than the whole budget is built and returned but not
+    retained.  All methods are safe to call from multiple threads;
+    artifact construction runs under the cache lock, which costs nothing
+    extra in CPython (the builds are GIL-bound) and guarantees each
+    artifact is built at most once.
+    """
+
+    def __init__(self, max_bytes: int = 128 << 20):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive, got %d" % max_bytes)
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, Tuple[object, int]]" = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- keys ----------------------------------------------------------
+
+    @staticmethod
+    def digest(reference: Buffer) -> str:
+        """Content digest identifying a reference buffer."""
+        return hashlib.sha1(bytes(reference)).hexdigest()
+
+    # -- core get-or-build --------------------------------------------
+
+    def _fetch(
+        self,
+        key: tuple,
+        build: Callable[[], object],
+        estimate: Callable[[object], int],
+    ) -> Tuple[object, bool]:
+        """Return ``(artifact, was_hit)``, building and inserting on miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry[0], True
+            self._misses += 1
+            value = build()
+            nbytes = estimate(value)
+            if nbytes <= self.max_bytes:
+                self._entries[key] = (value, nbytes)
+                self._bytes += nbytes
+                while self._bytes > self.max_bytes:
+                    _old_key, (_old_value, old_bytes) = self._entries.popitem(last=False)
+                    self._bytes -= old_bytes
+                    self._evictions += 1
+            return value, False
+
+    # -- artifact getters ---------------------------------------------
+
+    def full_index(
+        self,
+        reference: Buffer,
+        *,
+        seed_length: int = DEFAULT_SEED_LENGTH,
+        max_candidates: int = 64,
+    ) -> FullSeedIndex:
+        """The greedy algorithm's exhaustive seed index for ``reference``."""
+        key = (KIND_FULL_INDEX, self.digest(reference), seed_length, max_candidates)
+        value, _hit = self._fetch(
+            key,
+            lambda: FullSeedIndex(reference, seed_length, max_candidates),
+            lambda idx: len(reference) + _POSITION_BYTES * len(idx),
+        )
+        return value
+
+    def seed_table(
+        self,
+        reference: Buffer,
+        *,
+        seed_length: int = DEFAULT_SEED_LENGTH,
+        table_size: int = 1 << 16,
+    ) -> SeedTable:
+        """The correcting algorithm's half-pass FCFS seed table.
+
+        The returned table is shared: callers must only :meth:`lookup`,
+        never insert or clear.
+        """
+        key = (KIND_SEED_TABLE, self.digest(reference), seed_length, table_size)
+
+        def build() -> SeedTable:
+            table = SeedTable(table_size)
+            for offset, fingerprint in iter_seed_hashes(reference, seed_length):
+                table.insert(fingerprint, offset)
+            return table
+
+        value, _hit = self._fetch(
+            key,
+            build,
+            lambda t: _SLOT_BYTES * t.size + _STORED_OFFSET_BYTES * t.occupied,
+        )
+        return value
+
+    def fingerprints(
+        self,
+        reference: Buffer,
+        *,
+        seed_length: int = DEFAULT_SEED_LENGTH,
+    ) -> List[int]:
+        """Rolling Karp-Rabin fingerprints of every reference seed.
+
+        ``result[i]`` equals the fingerprint a
+        :class:`~repro.delta.rolling.RollingHash` reports with its window
+        at offset ``i`` — the one-pass algorithm's reference-side scan
+        state, precomputed once.
+        """
+        key = (KIND_FINGERPRINTS, self.digest(reference), seed_length)
+        value, _hit = self._fetch(
+            key,
+            lambda: seed_fingerprints(reference, seed_length),
+            lambda fps: _FINGERPRINT_BYTES * len(fps),
+        )
+        return value
+
+    # -- algorithm-level helpers --------------------------------------
+
+    def has(
+        self,
+        algorithm: str,
+        reference: Buffer,
+        *,
+        seed_length: int = DEFAULT_SEED_LENGTH,
+        max_candidates: int = 64,
+        table_size: int = 1 << 16,
+    ) -> bool:
+        """True when the artifact ``algorithm`` needs is already cached.
+
+        Does not count as a lookup and does not touch LRU order; used by
+        the pipeline to label per-job cache hits.  Always False for
+        algorithms with no cacheable state.
+        """
+        kind = ALGORITHM_KINDS.get(algorithm)
+        if kind is None:
+            return False
+        digest = self.digest(reference)
+        if kind == KIND_FULL_INDEX:
+            key = (kind, digest, seed_length, max_candidates)
+        elif kind == KIND_SEED_TABLE:
+            key = (kind, digest, seed_length, table_size)
+        else:
+            key = (kind, digest, seed_length)
+        with self._lock:
+            return key in self._entries
+
+    def warm(
+        self,
+        algorithm: str,
+        reference: Buffer,
+        *,
+        seed_length: int = DEFAULT_SEED_LENGTH,
+        max_candidates: int = 64,
+        table_size: int = 1 << 16,
+    ) -> bool:
+        """Pre-build the artifact ``algorithm`` will need for ``reference``.
+
+        Returns True when the artifact is now cached (built or already
+        present), False for algorithms with no cacheable state.
+        """
+        kind = ALGORITHM_KINDS.get(algorithm)
+        if kind is None:
+            return False
+        if kind == KIND_FULL_INDEX:
+            self.full_index(reference, seed_length=seed_length,
+                            max_candidates=max_candidates)
+        elif kind == KIND_SEED_TABLE:
+            self.seed_table(reference, seed_length=seed_length,
+                            table_size=table_size)
+        else:
+            self.fingerprints(reference, seed_length=seed_length)
+        return self.has(algorithm, reference, seed_length=seed_length,
+                        max_candidates=max_candidates, table_size=table_size)
+
+    # -- bookkeeping ---------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                current_bytes=self._bytes,
+                max_bytes=self.max_bytes,
+            )
+
+    def clear(self) -> None:
+        """Drop every cached artifact (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

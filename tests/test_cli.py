@@ -170,3 +170,61 @@ class TestReportCommand:
         for marker in ("Table 1", "Figure 2", "Figure 3", "runtime",
                        "compression factors", "paper"):
             assert marker in out, marker
+
+
+class TestPipelineCommand:
+    def test_batch_encode_and_round_trip(self, tmp_path, capsys):
+        import random
+
+        from repro.workloads import make_source_file, mutate
+
+        rng = random.Random(44)
+        reference = make_source_file(rng, 5_000)
+        ref_path = tmp_path / "base.bin"
+        ref_path.write_bytes(reference)
+        versions = []
+        for i in range(3):
+            data = mutate(reference, rng)
+            path = tmp_path / ("v%d.bin" % i)
+            path.write_bytes(data)
+            versions.append((path, data))
+
+        out_dir = tmp_path / "deltas"
+        argv = ["pipeline", str(ref_path)]
+        argv += [str(p) for p, _ in versions]
+        argv += ["--output-dir", str(out_dir), "--workers", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache hit rate 100%" in out
+        assert "encoded 3 deltas" in out
+
+        for path, data in versions:
+            payload = (out_dir / (path.name + ".ipd")).read_bytes()
+            rebuilt = tmp_path / (path.name + ".out")
+            assert main(["apply", "--in-place", str(ref_path),
+                         str(out_dir / (path.name + ".ipd")),
+                         str(rebuilt)]) == 0
+            assert rebuilt.read_bytes() == data
+            assert payload  # non-empty delta written
+
+    def test_duplicate_basenames_get_serial_suffixes(self, tmp_path, capsys):
+        import random
+
+        from repro.workloads import make_source_file, mutate
+
+        rng = random.Random(45)
+        reference = make_source_file(rng, 3_000)
+        ref_path = tmp_path / "base.bin"
+        ref_path.write_bytes(reference)
+        a_dir = tmp_path / "a"
+        b_dir = tmp_path / "b"
+        for d in (a_dir, b_dir):
+            d.mkdir()
+            (d / "same.bin").write_bytes(mutate(reference, rng))
+
+        out_dir = tmp_path / "deltas"
+        assert main(["pipeline", str(ref_path), str(a_dir / "same.bin"),
+                     str(b_dir / "same.bin"), "--output-dir", str(out_dir),
+                     "--executor", "serial"]) == 0
+        assert (out_dir / "same.bin.ipd").exists()
+        assert (out_dir / "same.bin.2.ipd").exists()

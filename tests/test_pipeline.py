@@ -1,0 +1,288 @@
+"""Tests for repro.pipeline: the reference index cache and batch executor."""
+
+import random
+import threading
+
+import pytest
+
+import repro
+from repro.core.convert import ConversionReport
+from repro.delta import FullSeedIndex, correcting_delta, greedy_delta, onepass_delta
+from repro.pipeline import (
+    BatchReport,
+    DeltaPipeline,
+    PipelineJob,
+    ReferenceIndexCache,
+)
+from repro.workloads import make_source_file, mutate
+
+
+@pytest.fixture
+def batch_pair(rng):
+    """One reference plus several derived versions (the serving shape)."""
+    reference = make_source_file(rng, 8_000)
+    versions = []
+    for i in range(5):
+        version = mutate(reference, rng)
+        if i % 2:  # mix shorter and longer versions
+            version = version + make_source_file(rng, 600)
+        else:
+            version = version[: len(version) - 400]
+        versions.append(version)
+    return reference, versions
+
+
+class TestReferenceIndexCache:
+    def test_second_fetch_is_a_hit(self, rng):
+        reference = rng.randbytes(4_000)
+        cache = ReferenceIndexCache()
+        first = cache.full_index(reference)
+        second = cache.full_index(reference)
+        assert first is second
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+        assert stats.lookups == 2
+
+    def test_keyed_by_content_not_identity(self, rng):
+        data = rng.randbytes(2_000)
+        cache = ReferenceIndexCache()
+        cache.seed_table(bytes(data))
+        cache.seed_table(bytearray(data))  # same bytes, different object
+        assert cache.stats.hits == 1
+
+    def test_distinct_params_are_distinct_entries(self, rng):
+        reference = rng.randbytes(2_000)
+        cache = ReferenceIndexCache()
+        cache.full_index(reference, seed_length=8)
+        cache.full_index(reference, seed_length=16)
+        assert len(cache) == 2
+        assert cache.stats.misses == 2
+
+    def test_lru_eviction_respects_budget(self, rng):
+        cache = ReferenceIndexCache(max_bytes=200_000)
+        for _ in range(8):
+            cache.fingerprints(rng.randbytes(2_000))
+        stats = cache.stats
+        assert stats.evictions > 0
+        assert stats.current_bytes <= stats.max_bytes
+        assert len(cache) < 8
+
+    def test_lru_evicts_least_recently_used(self, rng):
+        a, b, c = (rng.randbytes(2_000) for _ in range(3))
+        # Budget fits two fingerprint lists (~36 bytes * ~2000 each).
+        cache = ReferenceIndexCache(max_bytes=150_000)
+        cache.fingerprints(a)
+        cache.fingerprints(b)
+        cache.fingerprints(a)  # refresh a; b is now the LRU entry
+        cache.fingerprints(c)  # evicts b
+        assert cache.has("onepass", a)
+        assert not cache.has("onepass", b)
+        assert cache.has("onepass", c)
+
+    def test_oversized_artifact_built_but_not_retained(self, rng):
+        reference = rng.randbytes(4_000)
+        cache = ReferenceIndexCache(max_bytes=1)
+        index = cache.full_index(reference)
+        assert isinstance(index, FullSeedIndex)
+        assert len(cache) == 0
+
+    def test_has_and_warm(self, rng):
+        reference = rng.randbytes(3_000)
+        cache = ReferenceIndexCache()
+        assert not cache.has("greedy", reference)
+        assert cache.warm("greedy", reference)
+        assert cache.has("greedy", reference)
+        # has() is a peek: it never counts as a lookup.
+        assert cache.stats.lookups == 1
+        # Algorithms without reference-side state cannot be warmed.
+        assert not cache.warm("tichy", reference)
+        assert not cache.has("tichy", reference)
+
+    def test_clear_drops_entries_keeps_counters(self, rng):
+        cache = ReferenceIndexCache()
+        cache.seed_table(rng.randbytes(1_000))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+        assert cache.stats.current_bytes == 0
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceIndexCache(max_bytes=0)
+
+    def test_concurrent_fetch_builds_once(self, rng):
+        reference = rng.randbytes(6_000)
+        cache = ReferenceIndexCache()
+        results = []
+        barrier = threading.Barrier(6)
+
+        def fetch():
+            barrier.wait()
+            results.append(cache.full_index(reference))
+
+        threads = [threading.Thread(target=fetch) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.stats.misses == 1
+        assert all(r is results[0] for r in results)
+
+
+class TestCachedDiffers:
+    """A shared cache must never change differencing output."""
+
+    @pytest.mark.parametrize("differ", [greedy_delta, onepass_delta,
+                                        correcting_delta])
+    def test_cached_output_identical(self, differ, batch_pair):
+        reference, versions = batch_pair
+        cache = ReferenceIndexCache()
+        for version in versions:
+            plain = differ(reference, version)
+            cached = differ(reference, version, cache=cache)
+            assert cached.commands == plain.commands
+            assert cached.version_length == plain.version_length
+        assert cache.stats.hits == len(versions) - 1
+
+    def test_greedy_accepts_prebuilt_index(self, sample_pair):
+        reference, version = sample_pair
+        index = FullSeedIndex(reference, 16, 64)
+        plain = greedy_delta(reference, version, seed_length=16)
+        indexed = greedy_delta(reference, version, seed_length=16, index=index)
+        assert indexed.commands == plain.commands
+
+    def test_greedy_rejects_mismatched_index(self, sample_pair):
+        reference, version = sample_pair
+        index = FullSeedIndex(reference, 8, 64)
+        with pytest.raises(ValueError):
+            greedy_delta(reference, version, seed_length=16, index=index)
+
+
+class TestDeltaPipeline:
+    def _check_batch(self, batch, reference, versions, executor):
+        assert isinstance(batch, BatchReport)
+        assert batch.jobs == len(versions)
+        assert batch.wall_seconds > 0
+        for i, result in enumerate(batch.results):
+            report = result.report
+            assert report.name == "v%d" % i  # submission order preserved
+            buf = bytearray(reference)
+            assert bytes(repro.patch_in_place(buf, result.payload)) == versions[i]
+            assert report.executor == executor
+            assert report.delta_bytes == len(result.payload)
+            assert report.version_bytes == len(versions[i])
+            assert isinstance(report.conversion, ConversionReport)
+            for stage in (report.queue_seconds, report.diff_seconds,
+                          report.convert_seconds, report.encode_seconds,
+                          report.total_seconds):
+                assert stage >= 0.0
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_round_trip(self, executor, batch_pair):
+        reference, versions = batch_pair
+        jobs = [PipelineJob(reference, v, "v%d" % i)
+                for i, v in enumerate(versions)]
+        with DeltaPipeline(executor=executor, diff_workers=3,
+                           convert_workers=3) as pipe:
+            batch = pipe.run(jobs)
+        self._check_batch(batch, reference, versions, executor)
+
+    def test_process_executor_round_trip(self, batch_pair):
+        reference, versions = batch_pair
+        jobs = [PipelineJob(reference, v, "v%d" % i)
+                for i, v in enumerate(versions)]
+        with DeltaPipeline(executor="process", diff_workers=2,
+                           convert_workers=2) as pipe:
+            batch = pipe.run(jobs)
+            self._check_batch(batch, reference, versions, "process")
+            # The worker-local caches persist across run() calls, so a
+            # second batch against the same reference hits everywhere.
+            again = pipe.run(jobs)
+        assert again.cache_hits == len(jobs)
+
+    def test_warm_makes_every_job_hit(self, batch_pair):
+        reference, versions = batch_pair
+        jobs = [PipelineJob(reference, v, "v%d" % i)
+                for i, v in enumerate(versions)]
+        with DeltaPipeline(algorithm="greedy", executor="thread") as pipe:
+            assert pipe.warm([reference]) == 1
+            batch = pipe.run(jobs)
+        assert batch.cache_hits == len(jobs)
+        assert batch.cache_hit_rate == 1.0
+        assert batch.cache_stats is not None
+        assert batch.cache_stats.hit_rate > 0.5
+
+    def test_cold_then_warm_batches(self, batch_pair):
+        reference, versions = batch_pair
+        jobs = [PipelineJob(reference, v, "v%d" % i)
+                for i, v in enumerate(versions)]
+        with DeltaPipeline(executor="serial") as pipe:
+            cold = pipe.run(jobs)
+            warm = pipe.run(jobs)
+        assert cold.cache_hits == len(jobs) - 1  # first job builds the table
+        assert warm.cache_hits == len(jobs)
+
+    def test_tichy_bypasses_cache(self, batch_pair):
+        reference, versions = batch_pair
+        jobs = [PipelineJob(reference, v, "v%d" % i)
+                for i, v in enumerate(versions)]
+        with DeltaPipeline(algorithm="tichy", executor="serial") as pipe:
+            batch = pipe.run(jobs)
+        self._check_batch(batch, reference, versions, "serial")
+        assert batch.cache_hits == 0
+        assert batch.cache_stats.lookups == 0
+
+    def test_scratch_and_ordering_pass_through(self, batch_pair):
+        reference, versions = batch_pair
+        jobs = [PipelineJob(reference, v, "v%d" % i)
+                for i, v in enumerate(versions)]
+        with DeltaPipeline(executor="serial", scratch_budget=256,
+                           ordering="locality") as pipe:
+            batch = pipe.run(jobs)
+        self._check_batch(batch, reference, versions, "serial")
+        for result in batch.results:
+            assert result.report.conversion.scratch_used <= 256
+
+    def test_run_pairs_names_jobs(self, batch_pair):
+        reference, versions = batch_pair
+        with DeltaPipeline(executor="serial") as pipe:
+            batch = pipe.run_pairs([(reference, v) for v in versions[:2]],
+                                   names=["alpha", "beta"])
+        assert [r.report.name for r in batch.results] == ["alpha", "beta"]
+
+    def test_batch_report_aggregates(self, batch_pair):
+        reference, versions = batch_pair
+        jobs = [PipelineJob(reference, v, "v%d" % i)
+                for i, v in enumerate(versions)]
+        with DeltaPipeline(executor="serial") as pipe:
+            batch = pipe.run(jobs)
+        assert batch.total_version_bytes == sum(map(len, versions))
+        assert batch.total_delta_bytes == sum(
+            r.report.delta_bytes for r in batch.results)
+        assert batch.compute_seconds > 0
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaPipeline(algorithm="magic")
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaPipeline(executor="fibers")
+
+    def test_empty_batch(self):
+        with DeltaPipeline(executor="serial") as pipe:
+            batch = pipe.run([])
+        assert batch.jobs == 0
+        assert batch.cache_hit_rate == 0.0
+
+    def test_shared_external_cache(self, batch_pair):
+        reference, versions = batch_pair
+        cache = ReferenceIndexCache()
+        cache.warm("correcting", reference)
+        jobs = [PipelineJob(reference, v, "v%d" % i)
+                for i, v in enumerate(versions)]
+        with DeltaPipeline(executor="thread", cache=cache) as pipe:
+            batch = pipe.run(jobs)
+        assert batch.cache_hits == len(jobs)
+        assert pipe.cache is cache
