@@ -49,6 +49,7 @@ from .delta.encode import (
     version_checksum,
 )
 from .exceptions import ReproError
+from .faults import FaultPlan
 from .pipeline import EXECUTORS, DeltaPipeline, PipelineJob
 from .workloads.corpus import Corpus
 
@@ -275,6 +276,10 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
                 serial += 1
         used_names.add(name)
         jobs.append(PipelineJob(reference, _read(path), name))
+    fault_plan = None
+    if args.fault_plan:
+        fault_plan = FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
+    fallback = [n for n in (args.fallback or "").split(",") if n]
     with DeltaPipeline(
         algorithm=args.algorithm,
         policy=args.policy,
@@ -284,31 +289,56 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         diff_workers=args.workers,
         convert_workers=args.workers,
         cache_bytes=args.cache_bytes,
+        retries=args.retries,
+        fallback=fallback,
+        stage_timeout=args.stage_timeout,
+        backoff_base=args.backoff,
+        fault_plan=fault_plan,
     ) as pipe:
         if args.executor != "process":
             pipe.warm([reference])
         batch = pipe.run(jobs)
-    rows = [["version", "delta", "ratio", "cache", "diff ms", "convert ms", "evict cost"]]
+    rows = [["version", "delta", "ratio", "cache", "diff ms", "convert ms",
+             "evict cost", "attempts"]]
     for result in batch.results:
         report = result.report
-        target = out_dir / (report.name + ".ipd")
-        target.write_bytes(result.payload)
-        rows.append([
-            report.name,
-            format_bytes(report.delta_bytes),
-            "%.1f%%" % (100.0 * report.delta_bytes / max(1, report.version_bytes)),
-            "hit" if report.cache_hit else "miss",
-            "%.1f" % (1e3 * report.diff_seconds),
-            "%.1f" % (1e3 * report.convert_seconds),
-            str(report.conversion.eviction_cost if report.conversion else 0),
-        ])
+        if result.ok:
+            target = out_dir / (report.name + ".ipd")
+            target.write_bytes(result.payload)
+            rows.append([
+                report.name,
+                format_bytes(report.delta_bytes),
+                "%.1f%%" % (100.0 * report.delta_bytes / max(1, report.version_bytes)),
+                "hit" if report.cache_hit else "miss",
+                "%.1f" % (1e3 * report.diff_seconds),
+                "%.1f" % (1e3 * report.convert_seconds),
+                str(report.conversion.eviction_cost if report.conversion else 0),
+                "%d%s" % (report.attempts,
+                          " (%s)" % report.fallback if report.fallback else ""),
+            ])
+        else:
+            rows.append([report.name, "-", "-", "-", "-", "-", "-",
+                         "%d (quarantined)" % report.attempts])
     print(render_table(rows))
     print(
         "encoded %d deltas in %.3fs (%s executor, %d workers); "
         "cache hit rate %.0f%%"
-        % (batch.jobs, batch.wall_seconds, args.executor, pipe.diff_workers,
+        % (batch.ok_jobs, batch.wall_seconds, args.executor, pipe.diff_workers,
            100.0 * batch.cache_hit_rate)
     )
+    print(
+        "resilience: %d ok, %d retried, %d fell back, %d quarantined"
+        "; %d fault(s) survived"
+        % (batch.ok_jobs, len(batch.retried), len(batch.fallbacks),
+           len(batch.quarantined), batch.fault_events)
+    )
+    if batch.quarantined:
+        for result in batch.results:
+            if not result.ok:
+                print("quarantined: %s after %d attempts: %s"
+                      % (result.report.name, result.report.attempts,
+                         result.report.failure), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -423,6 +453,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--cache-bytes", type=int, default=128 << 20,
                    metavar="BYTES", help="reference index cache budget")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="extra attempts per degradation-chain link "
+                        "before falling back (default 0)")
+    p.add_argument("--fallback", default="", metavar="CHAIN",
+                   help="comma-separated degradation chain tried after "
+                        "the primary algorithm, e.g. 'greedy,raw' "
+                        "('raw' = full-rewrite delta)")
+    p.add_argument("--fault-plan", default="", metavar="SPECS",
+                   help="inject deterministic faults: semicolon-separated "
+                        "site:key=value specs, e.g. "
+                        "'diff.worker:nth=1;convert.evict:p=0.5'")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for probabilistic fault triggers (default 0)")
+    p.add_argument("--stage-timeout", type=float, default=None,
+                   metavar="SECONDS", help="per-stage wall-clock budget; "
+                   "an overrun counts as a failed attempt")
+    p.add_argument("--backoff", type=float, default=0.0, metavar="SECONDS",
+                   help="base of the exponential retry backoff (default 0)")
     p.set_defaults(func=_cmd_pipeline)
 
     p = sub.add_parser("report", help="regenerate the paper's evaluation")

@@ -16,7 +16,14 @@ from .journal import (
     apply_with_power_failures,
 )
 from .memory import ConstrainedDevice, RamAccount
-from .updater import STRATEGIES, UpdateOutcome, UpdateServer, run_update
+from .updater import (
+    STRATEGIES,
+    JournaledUpdateOutcome,
+    UpdateOutcome,
+    UpdateServer,
+    run_journaled_update,
+    run_update,
+)
 
 __all__ = [
     "CHANNELS",
@@ -26,6 +33,7 @@ __all__ = [
     "Delivery",
     "FlashArray",
     "Journal",
+    "JournaledUpdateOutcome",
     "JournaledApplier",
     "PowerFailureError",
     "RamAccount",
@@ -38,5 +46,6 @@ __all__ = [
     "full_reprogram",
     "measure_update_wear",
     "get_channel",
+    "run_journaled_update",
     "run_update",
 ]

@@ -21,19 +21,30 @@ update-time bench sweeps:
   possible footprint, beyond what the paper required).
 
 Corrupted deliveries are detected by checksum and retransmitted, up to
-``max_retries``.
+``max_retries``; a :class:`~repro.faults.FaultPlan` can inject
+deterministic link failures (``channel.transmit``) that the session
+survives with exponential backoff, and power cuts (``device.power``)
+that :func:`run_journaled_update` rides out by resuming from the
+journal.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..core.convert import make_in_place
 from ..delta import ALGORITHMS
-from ..delta.encode import FORMAT_INPLACE, FORMAT_SEQUENTIAL, encode_delta, version_checksum
-from ..delta.wrapper import seal
+from ..delta.encode import (
+    FORMAT_INPLACE,
+    FORMAT_SEQUENTIAL,
+    decode_delta,
+    encode_delta,
+    version_checksum,
+)
+from ..delta.wrapper import is_sealed, seal, unseal
 from ..exceptions import (
     DeltaFormatError,
     OutOfMemoryError,
@@ -42,10 +53,20 @@ from ..exceptions import (
     TransmissionError,
     VerificationError,
 )
+from ..faults import FaultPlan, describe_failure
 from .channel import Channel, Delivery
+from .journal import CrashingStorage, Journal, JournaledApplier, PowerFailureError
 from .memory import ConstrainedDevice
 
 STRATEGIES = ("full", "delta", "in-place", "in-place-stream")
+
+
+def _sleep_backoff(attempt: int, base: float, factor: float,
+                   cap: float = 5.0) -> None:
+    """Exponential backoff before retry ``attempt + 1`` (no-op at base 0)."""
+    if base <= 0.0:
+        return
+    time.sleep(min(cap, base * (factor ** (attempt - 1))))
 
 
 @dataclass
@@ -59,6 +80,8 @@ class UpdateOutcome:
     attempts: int = 1
     succeeded: bool = False
     failure: str = ""
+    #: Transient failures survived along the way (``"Type: message"``).
+    faults: List[str] = field(default_factory=list)
 
     @property
     def compression_ratio(self) -> float:
@@ -132,6 +155,9 @@ def run_update(
     strategy: str = "in-place",
     max_retries: int = 3,
     rng: Optional[random.Random] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    backoff_base: float = 0.0,
+    backoff_factor: float = 2.0,
 ) -> UpdateOutcome:
     """Run one update session end to end and report what happened.
 
@@ -139,6 +165,13 @@ def run_update(
     time including retransmissions; ``succeeded=False`` outcomes carry
     the failure reason (out of memory, exhausted retries, ...) so benches
     can tabulate strategy viability per device class.
+
+    A :class:`~repro.faults.FaultPlan` is checked at the
+    ``channel.transmit`` site once per attempt (scope = package name):
+    an injected :class:`TransmissionError` — like one raised by the
+    channel itself — costs an attempt and backs off exponentially
+    (``backoff_base`` seconds, default 0 = no sleeping) before the
+    retransmission.
     """
     if want is None:
         want = server.latest_release(package)
@@ -161,7 +194,18 @@ def run_update(
 
     for attempt in range(1, max_retries + 1):
         outcome.attempts = attempt
-        delivery: Delivery = channel.transmit(payload, rng)
+        try:
+            if fault_plan is not None:
+                fault_plan.check("channel.transmit", scope=package,
+                                 index=attempt)
+            delivery: Delivery = channel.transmit(payload, rng)
+        except TransmissionError as exc:
+            # The link dropped the payload outright (injected or real):
+            # back off and retransmit — the device saw nothing, so every
+            # strategy survives this.
+            outcome.faults.append(describe_failure(exc))
+            _sleep_backoff(attempt, backoff_base, backoff_factor)
+            continue
         outcome.transfer_seconds += delivery.seconds
         try:
             apply_payload(delivery.payload)
@@ -192,4 +236,123 @@ def run_update(
         outcome.succeeded = True
         return outcome
     outcome.failure = "exhausted %d transmission attempts" % max_retries
+    return outcome
+
+
+@dataclass
+class JournaledUpdateOutcome:
+    """Record of one journaled, power-cut-resilient update session."""
+
+    payload_bytes: int = 0
+    image_bytes: int = 0
+    transfer_seconds: float = 0.0
+    #: Transmission attempts (retransmissions after link faults count).
+    attempts: int = 0
+    #: Boots the apply phase took (1 = no power cut).
+    boots: int = 0
+    power_cuts: int = 0
+    #: Largest durable journal footprint observed across boots.
+    journal_peak_bytes: int = 0
+    succeeded: bool = False
+    failure: str = ""
+    faults: List[str] = field(default_factory=list)
+
+
+def run_journaled_update(
+    server: UpdateServer,
+    channel: Channel,
+    package: str,
+    *,
+    have: int,
+    want: Optional[int] = None,
+    max_retries: int = 3,
+    max_boots: int = 16,
+    rng: Optional[random.Random] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    backoff_base: float = 0.0,
+    backoff_factor: float = 2.0,
+    chunk_size: int = 4096,
+) -> JournaledUpdateOutcome:
+    """One in-place update that survives both link faults and power cuts.
+
+    The session transfers an in-place payload (retrying
+    :class:`TransmissionError` and corrupt deliveries with backoff, like
+    :func:`run_update`), then applies it through the crash-safe
+    :class:`~repro.device.journal.JournaledApplier`.  A
+    :class:`~repro.faults.FaultPlan` drives the adversity
+    deterministically: the ``channel.transmit`` site is checked once per
+    transmission (scope = package), and each boot ``b`` of the apply
+    phase asks ``plan.power_fuel(package, b)`` for a write budget — a
+    firing ``device.power`` spec cuts power after ``fuel`` written
+    bytes, and the next boot resumes from the journal instead of
+    starting over (re-running the delta would corrupt the image, since
+    in-place copies destroy their sources).
+    """
+    if want is None:
+        want = server.latest_release(package)
+    payload = server.build_payload(package, have, want, "in-place")
+    expected = server.release(package, want)
+    outcome = JournaledUpdateOutcome(
+        payload_bytes=len(payload),
+        image_bytes=len(expected),
+    )
+
+    # -- transfer phase: retry link faults and corrupt deliveries -------
+    script = None
+    for attempt in range(1, max_retries + 1):
+        outcome.attempts = attempt
+        try:
+            if fault_plan is not None:
+                fault_plan.check("channel.transmit", scope=package,
+                                 index=attempt)
+            delivery = channel.transmit(payload, rng)
+        except TransmissionError as exc:
+            outcome.faults.append(describe_failure(exc))
+            _sleep_backoff(attempt, backoff_base, backoff_factor)
+            continue
+        outcome.transfer_seconds += delivery.seconds
+        received = delivery.payload
+        try:
+            if is_sealed(received):
+                received = unseal(received)
+            script, _header = decode_delta(received)
+        except ReproError as exc:
+            # Corruption caught at parse time: nothing applied yet, so a
+            # retransmission is always safe.
+            outcome.faults.append(describe_failure(exc))
+            _sleep_backoff(attempt, backoff_base, backoff_factor)
+            continue
+        break
+    if script is None:
+        outcome.failure = "exhausted %d transmission attempts" % max_retries
+        return outcome
+
+    # -- apply phase: journaled, resumable across power cuts ------------
+    storage = CrashingStorage(server.release(package, have))
+    journal = Journal()
+    for boot in range(1, max_boots + 1):
+        outcome.boots = boot
+        fuel = (fault_plan.power_fuel(package, boot)
+                if fault_plan is not None else None)
+        storage.fuel = fuel
+        try:
+            JournaledApplier(script, journal).run(storage,
+                                                 chunk_size=chunk_size)
+        except PowerFailureError as exc:
+            outcome.power_cuts += 1
+            outcome.faults.append(describe_failure(exc))
+            outcome.journal_peak_bytes = max(outcome.journal_peak_bytes,
+                                             journal.size_bytes)
+            continue  # reboot: the journal resumes the interrupted command
+        break
+    outcome.journal_peak_bytes = max(outcome.journal_peak_bytes,
+                                     journal.size_bytes)
+    if not journal.complete:
+        outcome.failure = ("power failed on every one of %d boots"
+                           % outcome.boots)
+        return outcome
+    if storage.snapshot() != expected:
+        outcome.failure = "reconstructed image differs from release %d" % want
+        return outcome
+    outcome.succeeded = True
     return outcome

@@ -76,3 +76,26 @@ class TransmissionError(DeviceError):
 
 class VerificationError(ReproError):
     """A reconstructed image failed its integrity check."""
+
+
+class InjectedFault(ReproError):
+    """A deterministic fault raised by the fault-injection plane.
+
+    Carries the site it fired at so handlers and traces can attribute
+    the failure without parsing the message.
+    """
+
+    def __init__(self, message: str, site: str = "", index: int = 0):
+        super().__init__(message)
+        #: Fault site name (``"diff.worker"``, ``"channel.transmit"``, ...).
+        self.site = site
+        #: 1-based call index at which the site fired.
+        self.index = index
+
+
+class StageTimeoutError(ReproError):
+    """A pipeline stage exceeded its configured wall-clock budget.
+
+    Raised both by the pipeline's watchdog (a stage genuinely overran)
+    and by the fault plane's ``timeout`` error kind (a simulated stall).
+    """

@@ -1,0 +1,28 @@
+"""Deterministic fault injection: seeded plans of named fault sites.
+
+See :mod:`repro.faults.plan` for the design.  The short version: a
+:class:`FaultPlan` schedules faults at named sites (``diff.worker``,
+``convert.evict``, ``cache.lookup``, ``channel.transmit``,
+``device.power``) with nth-call/count/probability triggers, and every
+decision is a pure function of ``(seed, site, scope, call index)`` so
+the same plan reproduces the same faults across runs, threads and
+worker processes.
+"""
+
+from .plan import (
+    ERROR_KINDS,
+    KNOWN_SITES,
+    FaultPlan,
+    FaultRecord,
+    FaultSpec,
+    describe_failure,
+)
+
+__all__ = [
+    "ERROR_KINDS",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
+    "KNOWN_SITES",
+    "describe_failure",
+]

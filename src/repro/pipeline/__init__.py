@@ -20,6 +20,7 @@ from .cache import (
 )
 from .executor import (
     EXECUTORS,
+    RAW_REWRITE,
     BatchReport,
     DeltaPipeline,
     PipelineJob,
@@ -39,5 +40,6 @@ __all__ = [
     "PipelineJob",
     "PipelineReport",
     "PipelineResult",
+    "RAW_REWRITE",
     "ReferenceIndexCache",
 ]

@@ -25,6 +25,17 @@ Three executors:
   bytes, then the resulting script) cross the process boundary by
   pickling.
 
+**Fault isolation.**  A batch of N jobs always yields N
+:class:`PipelineResult` objects: a job that fails — a raising differ, a
+fault injected by a :class:`~repro.faults.FaultPlan`, a stage timeout —
+is retried (``retries``, with exponential backoff and jitter), degraded
+down a fallback chain of algorithms ending, if configured, in a
+``"raw"`` full-rewrite delta, and finally *quarantined* into a
+structured failure result rather than raised.  The per-job
+``report.trace`` records every attempt, fault and fallback in a
+timing-free format, so the same fault seed reproduces byte-identical
+traces across runs and executor modes.
+
 By default the pipeline prices evictions with
 :func:`~repro.delta.varint.varint_size` — the pricing that matches the
 varint wire format it encodes (``FORMAT_INPLACE``) — so every
@@ -35,20 +46,30 @@ conversion.
 from __future__ import annotations
 
 import os
+import random
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..core.commands import DeltaScript
+from ..core.commands import AddCommand, DeltaScript
 from ..core.convert import ConversionReport, make_in_place
 from ..delta import ALGORITHMS, FORMAT_INPLACE, encode_delta, version_checksum
 from ..delta.varint import varint_size
+from ..exceptions import ReproError
+from ..faults import FaultPlan, describe_failure
 from .cache import ALGORITHM_KINDS, CacheStats, ReferenceIndexCache
 
 Buffer = Union[bytes, bytearray, memoryview]
 
 EXECUTORS = ("serial", "thread", "process")
+
+#: Sentinel "algorithm" for the last link of a degradation chain: a
+#: full-rewrite delta (one add covering the whole version).  It needs no
+#: differencing and no reference, so it cannot fail at ``diff.worker``
+#: — the guaranteed-progress floor of the chain.
+RAW_REWRITE = "raw"
 
 
 @dataclass(frozen=True)
@@ -83,6 +104,20 @@ class PipelineReport:
     delta_bytes: int = 0
     #: The in-place converter's full report, rolled in.
     conversion: Optional[ConversionReport] = None
+    #: Total attempts (across retries and fallback links) this job took.
+    attempts: int = 1
+    #: Every failure hit along the way, rendered ``"Type: message"``.
+    faults: List[str] = field(default_factory=list)
+    #: Chain link that finally produced the payload, ``""`` when the
+    #: primary algorithm succeeded (``"raw"`` for a full rewrite).
+    fallback: str = ""
+    #: True when every chain link exhausted its retries; ``payload`` is
+    #: empty and ``failure`` holds the last error.
+    quarantined: bool = False
+    failure: str = ""
+    #: Timing-free event log (attempts, faults, fallbacks, outcome):
+    #: byte-identical across runs and executors for a fixed fault seed.
+    trace: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -92,6 +127,11 @@ class PipelineResult:
     payload: bytes
     script: DeltaScript
     report: PipelineReport
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a usable delta."""
+        return not self.report.quarantined
 
 
 @dataclass
@@ -128,6 +168,39 @@ class BatchReport:
             for r in self.results
         )
 
+    # -- resilience accounting ----------------------------------------
+
+    @property
+    def ok_jobs(self) -> int:
+        """Jobs that produced a usable delta."""
+        return sum(1 for r in self.results if r.ok)
+
+    @property
+    def retried(self) -> List[str]:
+        """Names of jobs that succeeded but needed more than one attempt."""
+        return [r.report.name for r in self.results
+                if r.ok and r.report.attempts > 1]
+
+    @property
+    def fallbacks(self) -> List[str]:
+        """Names of jobs served by a fallback link, not the primary."""
+        return [r.report.name for r in self.results if r.report.fallback]
+
+    @property
+    def quarantined(self) -> List[str]:
+        """Names of jobs that exhausted every chain link and retry."""
+        return [r.report.name for r in self.results if r.report.quarantined]
+
+    @property
+    def fault_events(self) -> int:
+        """Total failures hit across the batch (injected or organic)."""
+        return sum(len(r.report.faults) for r in self.results)
+
+    @property
+    def trace(self) -> List[str]:
+        """Per-job traces concatenated in submission order."""
+        return [line for r in self.results for line in r.report.trace]
+
 
 # -- process-pool plumbing --------------------------------------------
 #
@@ -150,14 +223,34 @@ def _diff_stage(
     options: Dict[str, object],
     cache: Optional[ReferenceIndexCache],
     submitted_at: float,
-) -> Tuple[DeltaScript, float, float, bool]:
-    """Run differencing; returns (script, queue_s, diff_s, cache_hit)."""
+    plan: Optional[FaultPlan] = None,
+    attempt: int = 1,
+) -> Tuple[DeltaScript, float, float, bool, float, List[str]]:
+    """Run differencing; returns
+    ``(script, queue_s, diff_s, cache_hit, submitted_at, faults)``.
+
+    ``plan`` fault sites: ``diff.worker`` fails the attempt;
+    ``cache.lookup`` degrades it to cache-less differencing (the fault is
+    recorded in ``faults`` but the attempt proceeds).  ``attempt`` is the
+    job's 1-based diff call index — passed explicitly so fault decisions
+    are identical whether this runs inline, in a thread, or in a worker
+    process holding a pickled copy of the plan.
+    """
     if cache is None:
         cache = _PROCESS_CACHE
     started_wall = time.time()
     queue_seconds = max(0.0, started_wall - submitted_at)
+    faults: List[str] = []
+    if plan is not None:
+        plan.check("diff.worker", scope=job.name, index=attempt)
     kwargs = dict(options)
     cache_hit = False
+    if cache is not None and algorithm in ALGORITHM_KINDS and plan is not None:
+        try:
+            plan.check("cache.lookup", scope=job.name, index=attempt)
+        except ReproError as exc:
+            faults.append(describe_failure(exc))
+            cache = None  # degrade: diff without the shared index
     if cache is not None and algorithm in ALGORITHM_KINDS:
         cache_hit = cache.has(
             algorithm, job.reference, **_has_kwargs(algorithm, options)
@@ -165,7 +258,8 @@ def _diff_stage(
         kwargs["cache"] = cache
     t0 = time.perf_counter()
     script = ALGORITHMS[algorithm](job.reference, job.version, **kwargs)
-    return script, queue_seconds, time.perf_counter() - t0, cache_hit
+    return (script, queue_seconds, time.perf_counter() - t0, cache_hit,
+            submitted_at, faults)
 
 
 def _has_kwargs(algorithm: str, options: Dict[str, object]) -> Dict[str, object]:
@@ -174,11 +268,22 @@ def _has_kwargs(algorithm: str, options: Dict[str, object]) -> Dict[str, object]
     return {k: options[k] for k in keys if k in options}
 
 
-def _process_diff_stage(payload: Tuple) -> Tuple[DeltaScript, float, float, bool]:
+def _process_diff_stage(payload: Tuple) -> Tuple[DeltaScript, float, float, bool, float, List[str]]:
     """Process-pool entry: unpack and run :func:`_diff_stage` with the
     worker-global cache."""
-    job, algorithm, options, submitted_at = payload
-    return _diff_stage(job, algorithm, options, None, submitted_at)
+    job, algorithm, options, submitted_at, plan, attempt = payload
+    return _diff_stage(job, algorithm, options, None, submitted_at, plan, attempt)
+
+
+def _raw_rewrite_script(version: bytes) -> DeltaScript:
+    """A full-rewrite delta: one add covering the whole version.
+
+    Trivially in-place safe (it reads nothing), so it survives any
+    differencing failure — the floor of the degradation chain.
+    """
+    if not version:
+        return DeltaScript([], 0)
+    return DeltaScript([AddCommand(0, bytes(version))], len(version))
 
 
 class DeltaPipeline:
@@ -194,6 +299,27 @@ class DeltaPipeline:
     :func:`~repro.delta.varint.varint_size`, matching the varint wire
     format the pipeline emits; set it False for the paper's legacy
     fixed-4 cost model.
+
+    Resilience knobs (all off by default, so the happy path is
+    unchanged):
+
+    * ``retries`` — extra attempts per chain link before moving on.
+    * ``fallback`` — algorithm names tried, in order, after the primary
+      exhausts its retries; the sentinel ``"raw"`` (see
+      :data:`RAW_REWRITE`) emits a full-rewrite delta and cannot fail at
+      the differencing stage.
+    * ``stage_timeout`` — wall-clock budget per stage; an overrunning
+      stage counts as a failed attempt (pooled stages abandon the wait,
+      the serial watchdog flags the overrun after the fact).
+    * ``backoff_base``/``backoff_factor``/``backoff_jitter``/
+      ``backoff_max`` — exponential backoff between a job's attempts;
+      ``backoff_base=0`` (default) disables sleeping.  Jitter draws from
+      an explicit ``random.Random(backoff_seed)``.
+    * ``fault_plan`` — a :class:`~repro.faults.FaultPlan` checked at the
+      ``diff.worker``, ``cache.lookup`` and ``convert.evict`` sites.
+
+    Whatever happens, :meth:`run` returns one result per job: failures
+    are quarantined into structured results, never raised.
     """
 
     def __init__(
@@ -210,6 +336,15 @@ class DeltaPipeline:
         cache: Optional[ReferenceIndexCache] = None,
         cache_bytes: int = 128 << 20,
         diff_options: Optional[Dict[str, object]] = None,
+        retries: int = 0,
+        fallback: Optional[Sequence[str]] = None,
+        stage_timeout: Optional[float] = None,
+        backoff_base: float = 0.0,
+        backoff_factor: float = 2.0,
+        backoff_jitter: float = 0.25,
+        backoff_max: float = 1.0,
+        backoff_seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if algorithm not in ALGORITHMS:
             raise ValueError(
@@ -221,6 +356,18 @@ class DeltaPipeline:
                 "unknown executor %r; choose from %s"
                 % (executor, ", ".join(EXECUTORS))
             )
+        if retries < 0:
+            raise ValueError("retries must be non-negative, got %d" % retries)
+        if stage_timeout is not None and stage_timeout <= 0:
+            raise ValueError("stage_timeout must be positive when set")
+        chain = [algorithm]
+        for name in tuple(fallback or ()):
+            if name != RAW_REWRITE and name not in ALGORITHMS:
+                raise ValueError(
+                    "unknown fallback %r; choose from %s or %r"
+                    % (name, ", ".join(sorted(ALGORITHMS)), RAW_REWRITE)
+                )
+            chain.append(name)
         self.algorithm = algorithm
         self.policy = policy
         self.ordering = ordering
@@ -233,6 +380,16 @@ class DeltaPipeline:
         self.cache_bytes = cache_bytes
         self.cache = cache if cache is not None else ReferenceIndexCache(cache_bytes)
         self.diff_options: Dict[str, object] = dict(diff_options or {})
+        self.retries = retries
+        self.fallback_chain: Tuple[str, ...] = tuple(chain[1:])
+        self._chain: Tuple[str, ...] = tuple(chain)
+        self.stage_timeout = stage_timeout
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_jitter = backoff_jitter
+        self.backoff_max = backoff_max
+        self._backoff_rng = random.Random(backoff_seed)
+        self.fault_plan = fault_plan
         self._diff_pool: Optional[Executor] = None
         self._convert_pool: Optional[ThreadPoolExecutor] = None
 
@@ -336,55 +493,200 @@ class DeltaPipeline:
         return PipelineResult(payload=payload, script=converted.script,
                               report=report)
 
+    # -- resilience machinery ------------------------------------------
+
+    def _overran(self, t0: float) -> bool:
+        return (self.stage_timeout is not None
+                and (time.perf_counter() - t0) > self.stage_timeout)
+
+    def _timeout_failure(self, stage: str) -> str:
+        return ("StageTimeoutError: %s stage exceeded %gs budget"
+                % (stage, self.stage_timeout))
+
+    def _backoff(self, attempt: int) -> None:
+        """Sleep before the next attempt (exponential, jittered)."""
+        if self.backoff_base <= 0.0:
+            return
+        delay = min(self.backoff_max,
+                    self.backoff_base * (self.backoff_factor ** (attempt - 1)))
+        delay *= 1.0 + self.backoff_jitter * self._backoff_rng.random()
+        time.sleep(delay)
+
+    def _diff_attempt(self, job: PipelineJob, algorithm: str, index: int) -> Tuple:
+        """One inline diff attempt; ``("ok", stage_tuple)`` or
+        ``("error", failure_string)`` — never raises."""
+        submitted = time.time()
+        if algorithm == RAW_REWRITE:
+            t0 = time.perf_counter()
+            script = _raw_rewrite_script(job.version)
+            return ("ok", (script, 0.0, time.perf_counter() - t0, False,
+                           submitted, []))
+        t0 = time.perf_counter()
+        try:
+            out = _diff_stage(job, algorithm, self.diff_options, self.cache,
+                              submitted, self.fault_plan, index)
+        except Exception as exc:
+            return ("error", describe_failure(exc))
+        if self._overran(t0):
+            return ("error", self._timeout_failure("diff"))
+        return ("ok", out)
+
+    def _await_diff(self, fut) -> Tuple:
+        """Resolve a pooled attempt-1 diff future into an outcome tuple."""
+        try:
+            if self.stage_timeout is not None:
+                out = fut.result(timeout=self.stage_timeout)
+            else:
+                out = fut.result()
+        except FuturesTimeoutError:
+            return ("error", self._timeout_failure("diff"))
+        except Exception as exc:
+            return ("error", describe_failure(exc))
+        return ("ok", out)
+
+    def _drive_job(self, job: PipelineJob, first: Tuple) -> PipelineResult:
+        """Take one job from its attempt-1 diff outcome to a result.
+
+        Walks the degradation chain (primary, then each ``fallback``
+        link), giving every link ``retries + 1`` attempts; each attempt
+        re-diffs (except ``"raw"``, which is rebuilt for free) and then
+        converts + encodes.  Exhausting the chain quarantines the job
+        into a structured failure result.  Never raises.
+        """
+        trace: List[str] = []
+        faults: List[str] = []
+        attempts = 0
+        diff_calls = 1  # attempt 1 of the primary was already issued
+        convert_calls = 0
+        last_failure = ""
+        outcome: Optional[Tuple] = first
+        for link_no, algo in enumerate(self._chain):
+            if link_no:
+                trace.append("%s: falling back %s -> %s"
+                             % (job.name, self._chain[link_no - 1], algo))
+            for _retry in range(self.retries + 1):
+                attempts += 1
+                if outcome is None:
+                    if algo != RAW_REWRITE:
+                        diff_calls += 1
+                    outcome = self._diff_attempt(job, algo, diff_calls)
+                kind, payload = outcome
+                outcome = None
+                if kind == "error":
+                    last_failure = payload
+                    faults.append(payload)
+                    trace.append("%s: %s attempt %d diff failed: %s"
+                                 % (job.name, algo, attempts, payload))
+                    self._backoff(attempts)
+                    continue
+                script, queue_s, diff_s, hit, submitted, stage_faults = payload
+                for fault in stage_faults:
+                    faults.append(fault)
+                    trace.append("%s: cache bypassed: %s" % (job.name, fault))
+                failure: Optional[str] = None
+                result: Optional[PipelineResult] = None
+                convert_calls += 1
+                t0 = time.perf_counter()
+                try:
+                    if self.fault_plan is not None:
+                        self.fault_plan.check("convert.evict", scope=job.name,
+                                              index=convert_calls)
+                    result = self._convert_stage(job, script, queue_s, diff_s,
+                                                 hit, submitted)
+                except Exception as exc:
+                    failure = describe_failure(exc)
+                if failure is None and self._overran(t0):
+                    failure = self._timeout_failure("convert")
+                if failure is not None:
+                    last_failure = failure
+                    faults.append(failure)
+                    trace.append("%s: %s attempt %d convert failed: %s"
+                                 % (job.name, algo, attempts, failure))
+                    self._backoff(attempts)
+                    continue
+                trace.append("%s: ok via %s (attempt %d)"
+                             % (job.name, algo, attempts))
+                report = result.report
+                report.attempts = attempts
+                report.faults = faults
+                report.fallback = algo if link_no else ""
+                report.trace = trace
+                return result
+        trace.append("%s: quarantined after %d attempts: %s"
+                     % (job.name, attempts, last_failure))
+        report = PipelineReport(
+            name=job.name,
+            algorithm=self.algorithm,
+            policy=self.policy,
+            executor=self.executor,
+            version_bytes=len(job.version),
+            attempts=attempts,
+            faults=faults,
+            quarantined=True,
+            failure=last_failure,
+            trace=trace,
+        )
+        return PipelineResult(payload=b"", script=DeltaScript(), report=report)
+
     def run(self, jobs: Sequence[PipelineJob]) -> BatchReport:
         """Process ``jobs`` and return per-job results plus batch stats.
 
         Results are returned in submission order regardless of
-        completion order.  Jobs flow diff -> convert -> encode with no
-        barrier between stages: a job converts as soon as its own diff
-        finishes.
+        completion order, one per job *unconditionally*: failing jobs
+        come back quarantined, not raised.  Jobs flow diff -> convert ->
+        encode with no barrier between stages: a job converts as soon as
+        its own diff finishes.  Retry and fallback attempts run where
+        the job's conversion runs (inline for the serial executor, in
+        the conversion pool otherwise), so one poison job never stalls
+        the rest of the batch's differencing.
         """
         jobs = list(jobs)
         batch = BatchReport()
         wall_start = time.perf_counter()
-        if self.executor == "serial":
-            for job in jobs:
-                submitted = time.time()
-                script, queue_s, diff_s, hit = _diff_stage(
-                    job, self.algorithm, self.diff_options, self.cache, submitted
-                )
-                batch.results.append(self._convert_stage(
-                    job, script, queue_s, diff_s, hit, submitted
-                ))
-        else:
-            diff_pool, convert_pool = self._pools()
-            shared_cache = None if self.executor == "process" else self.cache
-            convert_futures: List = [None] * len(jobs)
-            diff_futures = []
-            for i, job in enumerate(jobs):
-                submitted = time.time()
-                if self.executor == "process":
-                    fut = diff_pool.submit(
-                        _process_diff_stage,
-                        (job, self.algorithm, self.diff_options, submitted),
-                    )
-                else:
-                    fut = diff_pool.submit(
-                        _diff_stage, job, self.algorithm, self.diff_options,
-                        shared_cache, submitted,
-                    )
-                diff_futures.append((i, job, submitted, fut))
-            # Chain each diff into a conversion as it completes; waiting
-            # on the diff future here (in submission order) still lets
-            # later diffs and earlier conversions overlap freely.
-            for i, job, submitted, fut in diff_futures:
-                script, queue_s, diff_s, hit = fut.result()
-                convert_futures[i] = convert_pool.submit(
-                    self._convert_stage, job, script, queue_s, diff_s, hit,
-                    submitted,
-                )
-            for fut in convert_futures:
-                batch.results.append(fut.result())
+        pending: List = []
+        try:
+            if self.executor == "serial":
+                for job in jobs:
+                    first = self._diff_attempt(job, self.algorithm, 1)
+                    batch.results.append(self._drive_job(job, first))
+            else:
+                diff_pool, convert_pool = self._pools()
+                shared_cache = None if self.executor == "process" else self.cache
+                first_futs = []
+                for job in jobs:
+                    submitted = time.time()
+                    if self.executor == "process":
+                        fut = diff_pool.submit(
+                            _process_diff_stage,
+                            (job, self.algorithm, self.diff_options,
+                             submitted, self.fault_plan, 1),
+                        )
+                    else:
+                        fut = diff_pool.submit(
+                            _diff_stage, job, self.algorithm,
+                            self.diff_options, shared_cache, submitted,
+                            self.fault_plan, 1,
+                        )
+                    pending.append(fut)
+                    first_futs.append((job, fut))
+                # Chain each diff into a driver task as it completes;
+                # waiting on the diff future here (in submission order)
+                # still lets later diffs and earlier conversions overlap
+                # freely.
+                drive_futs = []
+                for job, fut in first_futs:
+                    first = self._await_diff(fut)
+                    dfut = convert_pool.submit(self._drive_job, job, first)
+                    pending.append(dfut)
+                    drive_futs.append(dfut)
+                for dfut in drive_futs:
+                    batch.results.append(dfut.result())
+        finally:
+            # A failure (or KeyboardInterrupt) mid-batch must not leave
+            # orphaned work queued in the pools: cancel whatever has not
+            # started so a subsequent close() cannot hang on it.
+            for fut in pending:
+                fut.cancel()
         batch.wall_seconds = time.perf_counter() - wall_start
         batch.cache_hits = sum(1 for r in batch.results if r.report.cache_hit)
         if self.executor != "process":

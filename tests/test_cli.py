@@ -228,3 +228,67 @@ class TestPipelineCommand:
                      "--executor", "serial"]) == 0
         assert (out_dir / "same.bin.ipd").exists()
         assert (out_dir / "same.bin.2.ipd").exists()
+
+
+class TestPipelineResilienceCLI:
+    def _make_inputs(self, tmp_path, count=3, seed=46):
+        rng = random.Random(seed)
+        reference = make_source_file(rng, 4_000)
+        ref_path = tmp_path / "base.bin"
+        ref_path.write_bytes(reference)
+        paths = []
+        for i in range(count):
+            path = tmp_path / ("v%d.bin" % i)
+            path.write_bytes(mutate(reference, rng))
+            paths.append(path)
+        return ref_path, paths
+
+    def test_fault_plan_quarantine_exits_nonzero(self, tmp_path, capsys):
+        ref_path, paths = self._make_inputs(tmp_path)
+        out_dir = tmp_path / "deltas"
+        argv = (["pipeline", str(ref_path)] + [str(p) for p in paths]
+                + ["--output-dir", str(out_dir), "--executor", "serial",
+                   "--retries", "1", "--fallback", "greedy,raw",
+                   "--fault-plan", "convert.evict:count=99"])
+        assert main(argv) == 1
+        captured = capsys.readouterr()
+        assert "resilience: 0 ok" in captured.out
+        assert "quarantined" in captured.err
+        # No partial payloads for quarantined jobs.
+        assert not list(out_dir.glob("*.ipd"))
+
+    def test_fallback_recovers_and_round_trips(self, tmp_path, capsys):
+        ref_path, paths = self._make_inputs(tmp_path)
+        out_dir = tmp_path / "deltas"
+        argv = (["pipeline", str(ref_path)] + [str(p) for p in paths]
+                + ["--output-dir", str(out_dir), "--executor", "serial",
+                   "--fallback", "raw",
+                   "--fault-plan", "diff.worker:count=99"])
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "resilience: 3 ok" in out
+        assert "3 fell back" in out
+        for path in paths:
+            rebuilt = tmp_path / (path.name + ".out")
+            assert main(["apply", "--in-place", str(ref_path),
+                         str(out_dir / (path.name + ".ipd")),
+                         str(rebuilt)]) == 0
+            assert rebuilt.read_bytes() == path.read_bytes()
+
+    def test_retry_summary_counts_retried_jobs(self, tmp_path, capsys):
+        ref_path, paths = self._make_inputs(tmp_path)
+        out_dir = tmp_path / "deltas"
+        argv = (["pipeline", str(ref_path)] + [str(p) for p in paths]
+                + ["--output-dir", str(out_dir), "--executor", "serial",
+                   "--retries", "1", "--fault-plan", "diff.worker:nth=1"])
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "resilience: 3 ok, 3 retried, 0 fell back, 0 quarantined" in out
+
+    def test_bad_fault_plan_is_a_usage_error(self, tmp_path, capsys):
+        ref_path, paths = self._make_inputs(tmp_path, count=1)
+        argv = (["pipeline", str(ref_path), str(paths[0]),
+                 "--output-dir", str(tmp_path / "d"),
+                 "--fault-plan", "diff.worker:banana=1"])
+        assert main(argv) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,180 @@
+"""Unit tests for the deterministic fault-injection plane (repro.faults)."""
+
+import pickle
+
+import pytest
+
+from repro.exceptions import (
+    InjectedFault,
+    StageTimeoutError,
+    TransmissionError,
+)
+from repro.faults import FaultPlan, FaultSpec, describe_failure
+
+
+class TestFaultSpec:
+    def test_nth_fires_exactly_once(self):
+        spec = FaultSpec("diff.worker", nth=3)
+        fired = [spec.fires(0, "job", i) for i in range(1, 6)]
+        assert fired == [False, False, True, False, False]
+
+    def test_count_fires_on_the_prefix(self):
+        spec = FaultSpec("diff.worker", count=2)
+        fired = [spec.fires(0, "job", i) for i in range(1, 5)]
+        assert fired == [True, True, False, False]
+
+    def test_triggers_compose_with_or(self):
+        spec = FaultSpec("diff.worker", nth=4, count=1)
+        fired = [spec.fires(0, "job", i) for i in range(1, 6)]
+        assert fired == [True, False, False, True, False]
+
+    def test_probability_is_deterministic(self):
+        spec = FaultSpec("diff.worker", probability=0.5)
+        first = [spec.fires(1, "job", i) for i in range(1, 40)]
+        second = [spec.fires(1, "job", i) for i in range(1, 40)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_probability_depends_on_seed_and_scope(self):
+        spec = FaultSpec("diff.worker", probability=0.5)
+        base = [spec.fires(1, "job", i) for i in range(1, 40)]
+        other_seed = [spec.fires(2, "job", i) for i in range(1, 40)]
+        other_scope = [spec.fires(1, "other", i) for i in range(1, 40)]
+        assert base != other_seed
+        assert base != other_scope
+
+    def test_never_firing_spec_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("diff.worker")
+
+    def test_bad_error_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("diff.worker", nth=1, error="gremlins")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("diff.worker", probability=1.5)
+
+    def test_injected_error_carries_site_and_index(self):
+        spec = FaultSpec("convert.evict", nth=2)
+        exc = spec.build_error("v0", 2)
+        assert isinstance(exc, InjectedFault)
+        assert exc.site == "convert.evict"
+        assert exc.index == 2
+
+    def test_error_kind_selection(self):
+        timeout = FaultSpec("diff.worker", nth=1, error="timeout")
+        transmit = FaultSpec("channel.transmit", nth=1, error="transmission")
+        assert isinstance(timeout.build_error("", 1), StageTimeoutError)
+        assert isinstance(transmit.build_error("", 1), TransmissionError)
+
+
+class TestFaultPlan:
+    def test_internal_counter_is_per_site_and_scope(self):
+        plan = FaultPlan([FaultSpec("diff.worker", nth=2)])
+        plan.check("diff.worker", scope="a")  # call 1: no fire
+        with pytest.raises(InjectedFault):
+            plan.check("diff.worker", scope="a")  # call 2: fires
+        # A different scope has its own counter.
+        plan.check("diff.worker", scope="b")
+        # A different site too.
+        plan.check("convert.evict", scope="a")
+        plan.check("convert.evict", scope="a")
+
+    def test_explicit_index_bypasses_the_counter(self):
+        plan = FaultPlan([FaultSpec("diff.worker", nth=5)])
+        plan.check("diff.worker", scope="a", index=4)
+        with pytest.raises(InjectedFault):
+            plan.check("diff.worker", scope="a", index=5)
+
+    def test_records_track_fired_faults(self):
+        plan = FaultPlan([FaultSpec("diff.worker", count=1)])
+        with pytest.raises(InjectedFault):
+            plan.check("diff.worker", scope="v0", index=1)
+        plan.check("diff.worker", scope="v0", index=2)
+        assert len(plan.records) == 1
+        record = plan.records[0]
+        assert (record.site, record.scope, record.index) == ("diff.worker", "v0", 1)
+        assert "diff.worker[v0]" in record.describe()
+
+    def test_reset_clears_counters_and_records(self):
+        plan = FaultPlan([FaultSpec("diff.worker", nth=1)])
+        with pytest.raises(InjectedFault):
+            plan.check("diff.worker")
+        plan.reset()
+        assert plan.records == []
+        with pytest.raises(InjectedFault):
+            plan.check("diff.worker")  # counter restarted at 1
+
+    def test_plan_survives_pickling(self):
+        plan = FaultPlan(
+            [FaultSpec("diff.worker", probability=0.5)], seed=11
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        decisions = [plan.firing_spec("diff.worker", "v0", i) is not None
+                     for i in range(1, 30)]
+        cloned = [clone.firing_spec("diff.worker", "v0", i) is not None
+                  for i in range(1, 30)]
+        assert decisions == cloned
+
+    def test_power_fuel(self):
+        plan = FaultPlan([
+            FaultSpec("device.power", nth=1, error="power", fuel=300),
+            FaultSpec("device.power", nth=2, error="power"),
+        ])
+        assert plan.power_fuel("pkg", 1) == 300
+        assert plan.power_fuel("pkg", 2) == 0  # firing spec without fuel
+        assert plan.power_fuel("pkg", 3) is None  # power stays on
+        assert len(plan.records) == 2
+
+    def test_describe_lists_every_spec(self):
+        plan = FaultPlan([
+            FaultSpec("diff.worker", nth=1),
+            FaultSpec("channel.transmit", probability=0.25,
+                      error="transmission"),
+        ])
+        lines = plan.describe()
+        assert len(lines) == 2
+        assert "nth=1" in lines[0]
+        assert "p=0.25" in lines[1] and "transmission" in lines[1]
+
+
+class TestFaultPlanParse:
+    def test_parse_full_spec(self):
+        plan = FaultPlan.parse(
+            "diff.worker:nth=2:error=timeout;convert.evict:p=0.5", seed=9
+        )
+        assert plan.seed == 9
+        assert len(plan) == 2
+        assert plan.specs[0] == FaultSpec("diff.worker", nth=2, error="timeout")
+        assert plan.specs[1].probability == 0.5
+        assert plan.specs[1].error == "injected"
+
+    def test_parse_comma_separator_and_fuel(self):
+        plan = FaultPlan.parse("device.power:nth=1:fuel=128,diff.worker:count=3")
+        assert plan.specs[0].error == "power"
+        assert plan.specs[0].fuel == 128
+        assert plan.specs[1].count == 3
+
+    def test_parse_defaults_transmission_for_channel_site(self):
+        plan = FaultPlan.parse("channel.transmit:count=1")
+        assert plan.specs[0].error == "transmission"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("diff.worker")  # no trigger
+        with pytest.raises(ValueError):
+            FaultPlan.parse("diff.worker:wat=1")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("diff.worker:nth")  # not key=value
+        with pytest.raises(ValueError):
+            FaultPlan.parse("")
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan.parse("diff.workr:count=1")  # typo'd site
+
+
+class TestDescribeFailure:
+    def test_canonical_format(self):
+        assert describe_failure(ValueError("boom")) == "ValueError: boom"
+        exc = InjectedFault("fault at diff.worker", site="diff.worker", index=1)
+        assert describe_failure(exc) == "InjectedFault: fault at diff.worker"

@@ -116,3 +116,111 @@ class TestRunUpdate:
                              rng=random.Random(1))
         assert outcome.succeeded
         assert outcome.attempts > 1
+
+
+class TestResilientUpdates:
+    """Fault-plane integration: link faults and power cuts, deterministically."""
+
+    def _plan(self, *specs, seed=0):
+        from repro.faults import FaultPlan, FaultSpec
+
+        return FaultPlan([FaultSpec(**spec) for spec in specs], seed=seed)
+
+    def test_injected_transmit_faults_are_retried(self, server, releases):
+        plan = self._plan(dict(site="channel.transmit", count=2,
+                               error="transmission"))
+        device = ConstrainedDevice(releases[0], ram=24 * 1024)
+        outcome = run_update(server, device, get_channel("modem-56k"),
+                             "firmware", have=0, want=1, strategy="in-place",
+                             max_retries=5, fault_plan=plan)
+        assert outcome.succeeded, outcome.failure
+        assert outcome.attempts == 3  # two drops, then delivery
+        assert len(outcome.faults) == 2
+        assert all("TransmissionError" in f for f in outcome.faults)
+        assert device.image == releases[1]
+
+    def test_persistent_transmit_faults_exhaust_retries(self, server, releases):
+        plan = self._plan(dict(site="channel.transmit", count=99,
+                               error="transmission"))
+        device = ConstrainedDevice(releases[0], ram=24 * 1024)
+        outcome = run_update(server, device, get_channel("modem-56k"),
+                             "firmware", have=0, want=1, strategy="in-place",
+                             max_retries=3, fault_plan=plan)
+        assert not outcome.succeeded
+        assert "exhausted 3 transmission attempts" in outcome.failure
+        assert device.image == releases[0]  # untouched: nothing was delivered
+
+    def test_journaled_update_resumes_after_power_cuts(self, server, releases):
+        from repro.device.updater import run_journaled_update
+
+        plan = self._plan(
+            dict(site="device.power", nth=1, error="power", fuel=700),
+            dict(site="device.power", nth=2, error="power", fuel=2_000),
+        )
+        outcome = run_journaled_update(server, get_channel("modem-56k"),
+                                       "firmware", have=0, want=1,
+                                       fault_plan=plan)
+        assert outcome.succeeded, outcome.failure
+        assert outcome.boots == 3  # two cuts, third boot finishes
+        assert outcome.power_cuts == 2
+        assert outcome.journal_peak_bytes > 0
+        assert len(outcome.faults) == 2
+        assert all("PowerFailureError" in f for f in outcome.faults)
+
+    def test_journaled_update_combined_link_and_power_faults(self, server,
+                                                             releases):
+        from repro.device.updater import run_journaled_update
+
+        plan = self._plan(
+            dict(site="channel.transmit", nth=1, error="transmission"),
+            dict(site="device.power", nth=1, error="power", fuel=500),
+        )
+        outcome = run_journaled_update(server, get_channel("isdn-128k"),
+                                       "firmware", have=0, want=1,
+                                       fault_plan=plan)
+        assert outcome.succeeded, outcome.failure
+        assert outcome.attempts == 2  # one retransmission
+        assert outcome.boots == 2     # one power cut
+        assert outcome.power_cuts == 1
+
+    def test_journaled_update_runs_out_of_boots(self, server, releases):
+        from repro.device.updater import run_journaled_update
+
+        plan = self._plan(dict(site="device.power", count=99, error="power",
+                               fuel=64))
+        outcome = run_journaled_update(server, get_channel("modem-56k"),
+                                       "firmware", have=0, want=1,
+                                       max_boots=3, fault_plan=plan)
+        assert not outcome.succeeded
+        assert outcome.boots == 3
+        assert outcome.power_cuts == 3
+        assert "power failed on every" in outcome.failure
+
+    def test_journaled_update_same_plan_same_outcome(self, server, releases):
+        from repro.device.updater import run_journaled_update
+
+        def session():
+            plan = self._plan(
+                dict(site="device.power", probability=0.6, error="power",
+                     fuel=900),
+                seed=3,
+            )
+            return run_journaled_update(server, get_channel("modem-56k"),
+                                        "firmware", have=0, want=1,
+                                        max_boots=32, fault_plan=plan)
+
+        first, second = session(), session()
+        assert first.succeeded and second.succeeded
+        assert first.boots == second.boots
+        assert first.power_cuts == second.power_cuts
+        assert first.faults == second.faults
+
+    def test_journaled_update_clean_run_is_single_boot(self, server, releases):
+        from repro.device.updater import run_journaled_update
+
+        outcome = run_journaled_update(server, get_channel("modem-56k"),
+                                       "firmware", have=0, want=1)
+        assert outcome.succeeded
+        assert outcome.boots == 1
+        assert outcome.power_cuts == 0
+        assert outcome.faults == []
