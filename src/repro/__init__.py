@@ -51,10 +51,17 @@ from .core import (
     optimize_script,
     reconstruct,
 )
+from .core import (
+    preflight_in_place,
+    storage_crc32,
+    verify_reference,
+)
 from .delta import (
     ALGORITHMS,
     FORMAT_INPLACE,
     FORMAT_SEQUENTIAL,
+    WIRE_V1,
+    WIRE_V2,
     correcting_delta,
     decode_delta,
     encode_delta,
@@ -62,6 +69,7 @@ from .delta import (
     greedy_delta,
     onepass_delta,
 )
+from .exceptions import IntegrityError
 from .pipeline import (
     BatchReport,
     DeltaPipeline,
@@ -104,14 +112,27 @@ def diff_in_place(reference: Buffer, version: Buffer, *,
 
 
 def patch(reference: Buffer, payload: bytes) -> bytes:
-    """Apply a serialized delta file to ``reference`` (two-space)."""
-    script, _header = decode_delta(payload)
+    """Apply a serialized delta file to ``reference`` (two-space).
+
+    ``IPD2`` payloads are integrity-checked (trailer, segment CRCs,
+    reference digest) before any reconstruction happens.
+    """
+    script, header = decode_delta(payload)
+    verify_reference(header, reference)
     return apply_delta(script, reference)
 
 
 def patch_in_place(buffer: bytearray, payload: bytes) -> bytearray:
-    """Apply a serialized in-place delta file to ``buffer``, mutating it."""
-    script, _header = decode_delta(payload)
+    """Apply a serialized in-place delta file to ``buffer``, mutating it.
+
+    Runs the full verify-then-mutate gate first: the payload's wire
+    integrity is checked by :func:`~repro.delta.decode_delta`, then
+    :func:`~repro.core.preflight_in_place` verifies the reference
+    digest and all command bounds — ``buffer`` is untouched unless
+    every check passes.
+    """
+    script, header = decode_delta(payload)
+    preflight_in_place(script, header, buffer)
     return apply_in_place(script, buffer, strict=True)
 
 
@@ -131,7 +152,10 @@ __all__ = [
     "SpillCommand",
     "FORMAT_SEQUENTIAL",
     "InPlaceResult",
+    "IntegrityError",
     "Interval",
+    "WIRE_V1",
+    "WIRE_V2",
     "LocallyMinimumPolicy",
     "PipelineJob",
     "PipelineReport",
@@ -165,6 +189,9 @@ __all__ = [
     "patch",
     "patch_in_place",
     "pipeline",
+    "preflight_in_place",
     "reconstruct",
+    "storage_crc32",
+    "verify_reference",
     "workloads",
 ]

@@ -7,6 +7,9 @@ Subcommands mirror the library's pipeline:
 * ``convert``  — post-process an existing delta file for in-place use
 * ``compose``  — fold a chain of sequential delta files into one
 * ``inspect``  — decode a delta file and report its commands and safety
+* ``info``     — print a delta's header fields without applying anything
+* ``verify``   — check a delta's integrity (trailer, segment CRCs,
+  optional reference digest) without applying it
 * ``tree-diff``  — bundle a whole directory upgrade (per-file in-place deltas)
 * ``tree-patch`` — apply an upgrade bundle to a directory, in place
 * ``corpus``   — materialize the synthetic benchmark corpus to a directory
@@ -21,13 +24,19 @@ unsafe delta, ...), 2 on usage errors (argparse's convention).
 from __future__ import annotations
 
 import argparse
+import io
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from . import __version__, diff
 from .analysis.tables import format_bytes, render_kv, render_table
-from .core.apply import apply_delta, apply_in_place
+from .core.apply import (
+    apply_delta,
+    apply_in_place,
+    preflight_in_place,
+    verify_reference,
+)
 from .bundle import (
     Manifest,
     build_bundle,
@@ -44,11 +53,13 @@ from .delta import ALGORITHMS
 from .delta.encode import (
     FORMAT_INPLACE,
     FORMAT_SEQUENTIAL,
+    WIRE_V2,
     decode_delta,
     encode_delta,
     version_checksum,
 )
-from .exceptions import ReproError
+from .delta.stream import read_header
+from .exceptions import IntegrityError, ReproError
 from .faults import FaultPlan
 from .pipeline import EXECUTORS, DeltaPipeline, PipelineJob
 from .workloads.corpus import Corpus
@@ -73,12 +84,14 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         result = make_in_place(script, reference, policy=args.policy,
                                scratch_budget=args.scratch)
         payload = encode_delta(
-            result.script, FORMAT_INPLACE, version_crc32=version_checksum(version)
+            result.script, FORMAT_INPLACE,
+            version_crc32=version_checksum(version), reference=reference,
         )
         note = "in-place (%s), %d evictions" % (args.policy, result.report.evicted_count)
     else:
         payload = encode_delta(
-            script, FORMAT_SEQUENTIAL, version_crc32=version_checksum(version)
+            script, FORMAT_SEQUENTIAL,
+            version_crc32=version_checksum(version), reference=reference,
         )
         note = "sequential"
     _write(args.output, payload)
@@ -95,12 +108,16 @@ def _cmd_apply(args: argparse.Namespace) -> int:
     script, header = decode_delta(payload)
     if args.in_place:
         buf = bytearray(_read(args.reference))
+        # Everything checkable runs before the first destructive write:
+        # reference digest, read/write bounds, scratch bounds.
+        preflight_in_place(script, header, buf)
         apply_in_place(script, buf, strict=not args.unsafe)
         output = bytes(buf)
     else:
-        output = apply_delta(script, _read(args.reference))
-    expected = header.version_crc32
-    if expected and version_checksum(output) != expected:
+        reference = _read(args.reference)
+        verify_reference(header, reference)
+        output = apply_delta(script, reference)
+    if header.has_checksum and version_checksum(output) != header.version_crc32:
         print("error: reconstructed file fails its checksum", file=sys.stderr)
         return 1
     _write(args.output, output)
@@ -115,7 +132,9 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     result = make_in_place(script, reference, policy=args.policy,
                            scratch_budget=args.scratch)
     out = encode_delta(
-        result.script, FORMAT_INPLACE, version_crc32=header.version_crc32
+        result.script, FORMAT_INPLACE,
+        version_crc32=header.version_crc32 if header.has_checksum else None,
+        reference=reference,
     )
     _write(args.output, out)
     report = result.report
@@ -160,6 +179,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     stats = script.stats()
     fmt_name = "sequential" if header.format == FORMAT_SEQUENTIAL else "in-place"
     pairs = [
+        ("container", "IPD2 (self-verifying)" if header.magic == WIRE_V2
+         else "IPD1"),
         ("format", fmt_name),
         ("version length", format_bytes(header.version_length)),
         ("commands", stats["commands"]),
@@ -178,6 +199,74 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     problems = lint_in_place(script)
     for problem in problems:
         print("  warning: %s" % problem)
+    return 0
+
+
+def _header_pairs(header, payload_size: int) -> list:
+    """Human-readable rows for a delta header (shared by info/verify)."""
+    v2 = header.magic == WIRE_V2
+    fmt_name = "sequential" if header.format == FORMAT_SEQUENTIAL else "in-place"
+    pairs = [
+        ("container", "IPD2 (self-verifying)" if v2 else "IPD1"),
+        ("format", fmt_name),
+        ("file size", format_bytes(payload_size)),
+        ("version length", format_bytes(header.version_length)),
+        ("scratch length", format_bytes(header.scratch_length)),
+        ("version checksum",
+         "0x%08x" % header.version_crc32 if header.has_checksum
+         else "absent"),
+    ]
+    if header.has_reference:
+        pairs.append(("reference length",
+                      format_bytes(header.reference_length)))
+        pairs.append(("reference checksum",
+                      "0x%08x" % header.reference_crc32))
+    else:
+        pairs.append(("reference digest", "absent"))
+    if v2:
+        pairs.append(("segment CRCs",
+                      "yes" if header.has_segment_crcs else "no"))
+        pairs.append(("trailer CRC", "yes"))
+    return pairs
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    payload = _read(args.delta)
+    # Header only: nothing is decoded past the fixed fields, nothing is
+    # applied, so this is safe to run on untrusted or damaged files.
+    header = read_header(io.BytesIO(payload))
+    print(render_kv(args.delta, _header_pairs(header, len(payload))))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    payload = _read(args.delta)
+    try:
+        script, header = decode_delta(payload)
+    except IntegrityError as exc:
+        where = " at offset %d" % exc.offset if exc.offset >= 0 else ""
+        print("FAILED: %s check%s: %s" % (exc.kind or "integrity", where, exc),
+              file=sys.stderr)
+        return 1
+    checks = ["structure"]
+    if header.magic == WIRE_V2:
+        checks.append("trailer")
+        if header.has_segment_crcs:
+            checks.append("segments")
+    if args.reference:
+        try:
+            verify_reference(header, _read(args.reference))
+        except IntegrityError as exc:
+            print("FAILED: reference check: %s" % exc, file=sys.stderr)
+            return 1
+        if header.has_reference:
+            checks.append("reference")
+        else:
+            print("note: delta carries no reference digest; "
+                  "--reference not verifiable", file=sys.stderr)
+    print(render_kv(args.delta, _header_pairs(header, len(payload))
+                    + [("commands", len(script.commands)),
+                       ("verified", ", ".join(checks))]))
     return 0
 
 
@@ -328,15 +417,16 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     )
     print(
         "resilience: %d ok, %d retried, %d fell back, %d quarantined"
-        "; %d fault(s) survived"
+        "; %d fault(s) survived; %d payload(s) integrity-verified"
         % (batch.ok_jobs, len(batch.retried), len(batch.fallbacks),
-           len(batch.quarantined), batch.fault_events)
+           len(batch.quarantined), batch.fault_events, batch.verified)
     )
     if batch.quarantined:
         for result in batch.results:
             if not result.ok:
-                print("quarantined: %s after %d attempts: %s"
-                      % (result.report.name, result.report.attempts,
+                print("quarantined (%s): %s after %d attempts: %s"
+                      % (result.report.quarantine_reason or "transient",
+                         result.report.name, result.report.attempts,
                          result.report.failure), file=sys.stderr)
         return 1
     return 0
@@ -407,6 +497,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("inspect", help="describe a delta file")
     p.add_argument("delta")
     p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("info", help="print a delta's header without "
+                       "decoding commands or applying anything")
+    p.add_argument("delta")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("verify", help="check a delta's integrity "
+                       "(trailer, segment CRCs, optional reference digest)")
+    p.add_argument("delta")
+    p.add_argument("--reference", default="", metavar="FILE",
+                   help="also check the delta's reference digest "
+                        "against this file")
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("tree-diff", help="bundle a whole directory upgrade")
     p.add_argument("old")

@@ -1,6 +1,13 @@
 """Core algorithms: command model, CRWI digraph, in-place conversion, apply."""
 
-from .apply import apply_delta, apply_in_place, reconstruct
+from .apply import (
+    apply_delta,
+    apply_in_place,
+    preflight_in_place,
+    reconstruct,
+    storage_crc32,
+    verify_reference,
+)
 from .compose import compose_chain, compose_scripts
 from .commands import (
     AddCommand,
@@ -69,6 +76,7 @@ __all__ = [
     "adds_are_last",
     "apply_delta",
     "apply_in_place",
+    "preflight_in_place",
     "build_crwi_digraph",
     "check_in_place_safe",
     "compare_policies",
@@ -92,4 +100,6 @@ __all__ = [
     "plain_toposort",
     "read_bytes_bound",
     "reconstruct",
+    "storage_crc32",
+    "verify_reference",
 ]

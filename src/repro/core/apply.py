@@ -24,13 +24,125 @@ command instead; the tests and benches use both modes.
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional, Union
 
-from ..exceptions import DeltaRangeError, WriteBeforeReadError
+from ..exceptions import DeltaRangeError, IntegrityError, WriteBeforeReadError
 from .commands import AddCommand, CopyCommand, DeltaScript, FillCommand, SpillCommand
 from .intervals import DynamicIntervalSet
 
 Buffer = Union[bytes, bytearray, memoryview]
+
+
+def storage_crc32(storage, length: Optional[int] = None,
+                  chunk: int = 1 << 16) -> int:
+    """CRC32 of the first ``length`` bytes of any sliceable storage.
+
+    Works on plain buffers and on device storage objects (flash arrays,
+    crash-simulating wrappers) that only expose ``__len__`` and slice
+    reads, without materializing a full copy: the digest is folded one
+    bounded chunk at a time.
+    """
+    if length is None:
+        length = len(storage)
+    crc = 0
+    pos = 0
+    while pos < length:
+        step = min(chunk, length - pos)
+        piece = storage[pos:pos + step]
+        crc = zlib.crc32(bytes(piece), crc)
+        pos += step
+    return crc & 0xFFFFFFFF
+
+
+def verify_reference(header, storage, *, length: Optional[int] = None) -> None:
+    """Check ``storage`` against the reference digest recorded in ``header``.
+
+    No-op when the header carries no reference digest (``IPD1``, or an
+    ``IPD2`` produced without one).  Raises
+    :class:`~repro.exceptions.IntegrityError` with ``kind="reference"``
+    when the length or CRC32 does not match — the caller must not let a
+    destructive apply proceed past this.
+
+    ``length`` bounds how many bytes of ``storage`` constitute the
+    image (defaults to all of it) — devices whose storage is larger
+    than the installed image pass the image length.
+    """
+    if not getattr(header, "has_reference", False):
+        return
+    if length is None:
+        length = len(storage)
+    if header.reference_length is not None and \
+            length != header.reference_length:
+        raise IntegrityError(
+            "reference is %d bytes but the delta was built against %d — "
+            "refusing to destroy the image"
+            % (length, header.reference_length),
+            kind="reference",
+            expected=header.reference_length, actual=length,
+        )
+    actual = storage_crc32(storage, length)
+    if actual != header.reference_crc32:
+        raise IntegrityError(
+            "reference checksum 0x%08x does not match the delta's "
+            "0x%08x — wrong or corrupted base image; refusing to "
+            "destroy it" % (actual, header.reference_crc32),
+            kind="reference",
+            expected=header.reference_crc32, actual=actual,
+        )
+
+
+def preflight_in_place(script: DeltaScript, header, storage, *,
+                       length: Optional[int] = None) -> None:
+    """Verify-then-mutate gate: everything checkable before the first write.
+
+    In-place application is destructive — the first copy command
+    overwrites reference bytes that cannot be recovered — so this gate
+    runs every check that does not require mutating ``storage``:
+
+    * the reference digest recorded in the header (length + CRC32)
+      matches the target image (:func:`verify_reference`);
+    * every command's reads fall inside the reference and its writes
+      inside the version region;
+    * spill/fill scratch accesses fall inside the declared scratch.
+
+    Raises :class:`~repro.exceptions.IntegrityError` or
+    :class:`~repro.exceptions.DeltaRangeError` with ``storage``
+    untouched.  The delta's own wire integrity (trailer, segments) is
+    verified by :func:`~repro.delta.encode.decode_delta` before a
+    script even exists, so a caller running ``decode -> preflight ->
+    apply`` holds the full abort-before-mutate contract.
+    """
+    verify_reference(header, storage, length=length)
+    reference_length = length if length is not None else len(storage)
+    version_length = script.version_length
+    write_bound = max(version_length, reference_length)
+    scratch_length = script.scratch_length
+    for i, cmd in enumerate(script.commands):
+        if isinstance(cmd, (CopyCommand, SpillCommand)):
+            if cmd.src + cmd.length > reference_length:
+                raise DeltaRangeError(
+                    "command %d reads [%d, %d) beyond reference of length %d"
+                    % (i, cmd.src, cmd.src + cmd.length, reference_length)
+                )
+        if isinstance(cmd, SpillCommand):
+            if cmd.scratch + cmd.length > scratch_length:
+                raise DeltaRangeError(
+                    "spill %d writes beyond declared scratch size %d"
+                    % (i, scratch_length)
+                )
+            continue
+        if isinstance(cmd, FillCommand) and \
+                cmd.scratch + cmd.length > scratch_length:
+            raise DeltaRangeError(
+                "fill %d reads beyond declared scratch size %d"
+                % (i, scratch_length)
+            )
+        if cmd.dst + cmd.length > write_bound:
+            raise DeltaRangeError(
+                "command %d writes [%d, %d) beyond the %d-byte version "
+                "region" % (i, cmd.dst, cmd.dst + cmd.length, write_bound)
+            )
 
 
 def apply_delta(script: DeltaScript, reference: Buffer) -> bytes:
@@ -159,9 +271,19 @@ def apply_in_place(
                 written.add(cmd.write_interval)
         elif isinstance(cmd, SpillCommand):
             check_read(i, cmd)
+            if cmd.scratch + cmd.length > len(scratch):
+                raise DeltaRangeError(
+                    "spill %d writes beyond declared scratch size %d"
+                    % (i, len(scratch))
+                )
             scratch[cmd.scratch:cmd.scratch + cmd.length] = \
                 buffer[cmd.src:cmd.src + cmd.length]
         else:  # FillCommand: reads only scratch, immune to buffer writes
+            if cmd.scratch + cmd.length > len(scratch):
+                raise DeltaRangeError(
+                    "fill %d reads beyond declared scratch size %d"
+                    % (i, len(scratch))
+                )
             buffer[cmd.dst:cmd.dst + cmd.length] = \
                 scratch[cmd.scratch:cmd.scratch + cmd.length]
             if written is not None:

@@ -4,10 +4,17 @@ from .builder import ScriptBuilder
 from .correcting import correcting_delta
 from .encode import (
     ALL_FORMATS,
+    FLAG_HAS_REFERENCE,
+    FLAG_HAS_VERSION_CRC,
+    FLAG_SEGMENT_CRCS,
     FORMAT_INPLACE,
     FORMAT_INPLACE_FIXED,
     FORMAT_SEQUENTIAL,
     FORMAT_SEQUENTIAL_FIXED,
+    MAGIC,
+    MAGIC_V2,
+    WIRE_V1,
+    WIRE_V2,
     DeltaHeader,
     decode_delta,
     encode_delta,
@@ -43,6 +50,13 @@ ALGORITHMS = {
 __all__ = [
     "ALGORITHMS",
     "ALL_FORMATS",
+    "FLAG_HAS_REFERENCE",
+    "FLAG_HAS_VERSION_CRC",
+    "FLAG_SEGMENT_CRCS",
+    "MAGIC",
+    "MAGIC_V2",
+    "WIRE_V1",
+    "WIRE_V2",
     "apply_delta_stream",
     "iter_delta_commands",
     "read_header",

@@ -24,20 +24,42 @@ byte to encode the length of add commands and therefore generates many
 short add commands").  The converter's cost model and Table 1's shape
 depend on this.  Offsets and copy lengths are LEB128 varints.
 
-Layout::
+Two *container* versions wrap those codewords.  ``IPD1`` is the legacy
+layout; ``IPD2`` is the self-verifying layout in-place reconstruction
+actually needs — the first copy command destroys the reference, so a
+delta applied against the wrong (or corrupted) reference bricks the
+image unless the applier can verify *before* mutating::
 
-    magic "IPD1" | format u8 | version_length varint | version_crc32 u32le
-    codeword*    | OP_END
+    IPD1: magic "IPD1" | format u8 | version_length varint
+          | scratch_length varint | version_crc32 u32le
+          | codeword* | OP_END
+
+    IPD2: magic "IPD2" | format u8 | flags u8 | version_length varint
+          | scratch_length varint | version_crc32 u32le
+          | reference_length varint | reference_crc32 u32le
+          | (codeword* OP_CRC crc u32le)* | OP_END | trailer_crc u32le
 
     sequential:  OP_ADD l u8, data | OP_COPY f varint, l varint
     in-place:    OP_ADD t varint, l u8, data | OP_COPY f varint, t varint, l varint
+
+``IPD2`` flags: bit 0 — a version checksum was recorded (resolving the
+``IPD1`` ambiguity where CRC 0 could mean "no checksum" or a real zero
+CRC); bit 1 — the reference digest fields are meaningful (a composed or
+reference-less delta carries zeros); bit 2 — segment checkpoints are
+interleaved with the codewords.  Unknown flag bits are rejected.  Each
+``OP_CRC`` checkpoint carries the CRC32 of the raw wire bytes of every
+codeword since the previous checkpoint (a checkpoint lands once a
+segment reaches :data:`SEGMENT_TARGET_BYTES`, and a final one covers
+any tail), so a streaming applier detects a bit-flip within one bounded
+segment of where it happened.  The trailer CRC covers every preceding
+byte of the file and is verified before parsing begins.
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from ..core.commands import (
     AddCommand,
@@ -47,12 +69,13 @@ from ..core.commands import (
     FillCommand,
     SpillCommand,
 )
-from ..exceptions import DeltaFormatError
+from ..exceptions import DeltaFormatError, IntegrityError
 from .varint import decode_varint, encode_varint, varint_size
 
 Buffer = Union[bytes, bytearray, memoryview]
 
 MAGIC = b"IPD1"
+MAGIC_V2 = b"IPD2"
 FORMAT_SEQUENTIAL = 1
 FORMAT_INPLACE = 2
 #: Paper-faithful variants with fixed 4-byte offset/length fields, the
@@ -68,22 +91,54 @@ _INPLACE_FORMATS = (FORMAT_INPLACE, FORMAT_INPLACE_FIXED)
 _FIXED_FORMATS = (FORMAT_SEQUENTIAL_FIXED, FORMAT_INPLACE_FIXED)
 ALL_FORMATS = _SEQUENTIAL_FORMATS + _INPLACE_FORMATS
 
+#: Container versions: 1 = legacy ``IPD1``, 2 = self-verifying ``IPD2``.
+WIRE_V1 = 1
+WIRE_V2 = 2
+
 OP_END = 0x00
 OP_ADD = 0x01
 OP_COPY = 0x02
 #: Bounded-scratch extension: save reference bytes to scratch / restore.
 OP_SPILL = 0x03
 OP_FILL = 0x04
+#: ``IPD2`` segment checkpoint: CRC32 of the codeword bytes since the
+#: previous checkpoint (or the first codeword).
+OP_CRC = 0x05
+
+#: ``IPD2`` header flag bits.  Unknown bits are rejected at decode time
+#: so a future revision cannot be silently misread.
+FLAG_HAS_VERSION_CRC = 0x01
+FLAG_HAS_REFERENCE = 0x02
+FLAG_SEGMENT_CRCS = 0x04
+_KNOWN_FLAGS = FLAG_HAS_VERSION_CRC | FLAG_HAS_REFERENCE | FLAG_SEGMENT_CRCS
 
 #: Maximum literal bytes one add codeword can carry (1-byte length field).
 MAX_ADD_CHUNK = 255
 
+#: A segment checkpoint is emitted once the codewords since the last one
+#: reach this many wire bytes (plus a final checkpoint over any tail).
+SEGMENT_TARGET_BYTES = 1024
+#: Upper bound on bytes between checkpoints a decoder will tolerate: the
+#: target plus one maximal codeword (a checkpoint lands immediately
+#: after the codeword that crosses the target).
+SEGMENT_LIMIT_BYTES = SEGMENT_TARGET_BYTES + 1 + 3 * 10 + 1 + MAX_ADD_CHUNK
+
 _HEADER_FIXED = len(MAGIC) + 1  # magic + format byte
+_V2_FIXED = len(MAGIC_V2) + 2  # magic + format byte + flags byte
+#: Smallest possible IPD2 file: fixed header, two 1-byte varint lengths,
+#: version CRC, 1-byte reference length varint, reference CRC, OP_END,
+#: trailer.
+_V2_MIN_SIZE = _V2_FIXED + 1 + 1 + 4 + 1 + 4 + 1 + 4
 
 
 @dataclass(frozen=True)
 class DeltaHeader:
-    """Parsed header of a serialized delta file."""
+    """Parsed header of a serialized delta file.
+
+    ``IPD1`` headers leave the integrity fields at their defaults:
+    ``has_checksum`` falls back to the legacy heuristic (a zero CRC
+    means "none recorded"), and the reference digest is unknown.
+    """
 
     format: int
     version_length: int
@@ -91,6 +146,27 @@ class DeltaHeader:
     scratch_length: int
     #: CRC32 of the version file, or 0 when the producer did not record one.
     version_crc32: int
+    #: Container version: 1 for ``IPD1``, 2 for ``IPD2``.
+    magic: int = WIRE_V1
+    #: Whether ``version_crc32`` was actually recorded.  ``IPD2`` states
+    #: this in a flag bit; for ``IPD1`` it defaults to the legacy
+    #: heuristic ``version_crc32 != 0``.
+    has_checksum: Optional[bool] = None
+    #: Length of the reference the delta was built against, when recorded.
+    reference_length: Optional[int] = None
+    #: CRC32 of that reference, when recorded.
+    reference_crc32: Optional[int] = None
+    #: Whether segment checkpoints are interleaved with the codewords.
+    has_segment_crcs: bool = False
+
+    def __post_init__(self) -> None:
+        if self.has_checksum is None:
+            object.__setattr__(self, "has_checksum", self.version_crc32 != 0)
+
+    @property
+    def has_reference(self) -> bool:
+        """Whether a reference digest was recorded."""
+        return self.reference_crc32 is not None
 
 
 def _check_sequential_shape(commands: List[Command], version_length: int) -> None:
@@ -132,20 +208,84 @@ def _get_int(data: Buffer, pos: int, fixed: bool) -> Tuple[int, int]:
     return decode_varint(data, pos)
 
 
+def _ordered_commands(script: DeltaScript, with_offsets: bool) -> List[Command]:
+    """Commands in serialization order, shape-checked for sequential."""
+    if with_offsets:
+        return list(script.commands)
+    commands = sorted(script.commands, key=lambda c: c.write_interval.start)
+    _check_sequential_shape(commands, script.version_length)
+    return commands
+
+
+def _iter_codewords(commands: List[Command], fixed: bool,
+                    with_offsets: bool) -> Iterator[bytes]:
+    """Serialize commands one codeword at a time (adds may span several)."""
+    for cmd in commands:
+        if isinstance(cmd, CopyCommand):
+            word = bytearray((OP_COPY,))
+            _put_int(word, cmd.src, fixed)
+            if with_offsets:
+                _put_int(word, cmd.dst, fixed)
+            _put_int(word, cmd.length, fixed)
+            yield bytes(word)
+        elif isinstance(cmd, SpillCommand):
+            word = bytearray((OP_SPILL,))
+            _put_int(word, cmd.src, fixed)
+            _put_int(word, cmd.scratch, fixed)
+            _put_int(word, cmd.length, fixed)
+            yield bytes(word)
+        elif isinstance(cmd, FillCommand):
+            word = bytearray((OP_FILL,))
+            _put_int(word, cmd.scratch, fixed)
+            _put_int(word, cmd.dst, fixed)
+            _put_int(word, cmd.length, fixed)
+            yield bytes(word)
+        else:
+            done = 0
+            while done < cmd.length:
+                step = min(MAX_ADD_CHUNK, cmd.length - done)
+                word = bytearray((OP_ADD,))
+                if with_offsets:
+                    _put_int(word, cmd.dst + done, fixed)
+                word.append(step)
+                word += cmd.data[done:done + step]
+                done += step
+                yield bytes(word)
+
+
 def encode_delta(
     script: DeltaScript,
     format: int = FORMAT_INPLACE,
     *,
     version_crc32: Optional[int] = None,
+    reference: Optional[Buffer] = None,
+    wire: Optional[int] = None,
 ) -> bytes:
     """Serialize ``script`` to a delta file in the chosen format.
 
     Sequential encoding sorts the commands into write order (order is
     irrelevant for two-space application); in-place encoding preserves
     the given application order exactly.
+
+    ``wire`` selects the container: :data:`WIRE_V1` (``IPD1``, the
+    default) or :data:`WIRE_V2` (``IPD2``, self-verifying).  Passing
+    ``reference`` — the bytes the delta was built against — implies
+    ``IPD2`` and records the reference length and CRC32 so appliers can
+    refuse to destroy a mismatched image.  ``wire=WIRE_V2`` without a
+    reference produces an ``IPD2`` file whose reference digest is
+    flagged absent (a composed delta, say).
     """
     if format not in ALL_FORMATS:
         raise DeltaFormatError("unknown delta format %d" % format)
+    if wire is None:
+        wire = WIRE_V2 if reference is not None else WIRE_V1
+    if wire not in (WIRE_V1, WIRE_V2):
+        raise DeltaFormatError("unknown wire container %d" % wire)
+    if wire == WIRE_V1 and reference is not None:
+        raise DeltaFormatError(
+            "the IPD1 container cannot carry a reference digest; pass "
+            "wire=WIRE_V2"
+        )
     fixed = format in _FIXED_FORMATS
     with_offsets = format in _INPLACE_FORMATS
 
@@ -154,85 +294,113 @@ def encode_delta(
         raise DeltaFormatError(
             "spill/fill commands require an in-place format"
         )
+    commands = _ordered_commands(script, with_offsets)
+
+    if wire == WIRE_V1:
+        out = bytearray()
+        out += MAGIC
+        out.append(format)
+        out += encode_varint(script.version_length)
+        out += encode_varint(scratch_length)
+        crc = version_crc32 if version_crc32 is not None else 0
+        out += (crc & 0xFFFFFFFF).to_bytes(4, "little")
+        for word in _iter_codewords(commands, fixed, with_offsets):
+            out += word
+        out.append(OP_END)
+        return bytes(out)
+
+    # -- IPD2: flags, reference digest, segment checkpoints, trailer ----
+    body = bytearray()
+    seg_start = 0
+    for word in _iter_codewords(commands, fixed, with_offsets):
+        body += word
+        if len(body) - seg_start >= SEGMENT_TARGET_BYTES:
+            crc = zlib.crc32(memoryview(body)[seg_start:]) & 0xFFFFFFFF
+            body.append(OP_CRC)
+            body += crc.to_bytes(4, "little")
+            seg_start = len(body)
+    if len(body) > seg_start:
+        crc = zlib.crc32(memoryview(body)[seg_start:]) & 0xFFFFFFFF
+        body.append(OP_CRC)
+        body += crc.to_bytes(4, "little")
+
+    flags = 0
+    if version_crc32 is not None:
+        flags |= FLAG_HAS_VERSION_CRC
+    if reference is not None:
+        flags |= FLAG_HAS_REFERENCE
+    if body:
+        flags |= FLAG_SEGMENT_CRCS
 
     out = bytearray()
-    out += MAGIC
+    out += MAGIC_V2
     out.append(format)
+    out.append(flags)
     out += encode_varint(script.version_length)
     out += encode_varint(scratch_length)
     crc = version_crc32 if version_crc32 is not None else 0
     out += (crc & 0xFFFFFFFF).to_bytes(4, "little")
-
-    if with_offsets:
-        commands = list(script.commands)
-    else:
-        commands = sorted(script.commands, key=lambda c: c.write_interval.start)
-        _check_sequential_shape(commands, script.version_length)
-
-    for cmd in commands:
-        if isinstance(cmd, CopyCommand):
-            out.append(OP_COPY)
-            _put_int(out, cmd.src, fixed)
-            if with_offsets:
-                _put_int(out, cmd.dst, fixed)
-            _put_int(out, cmd.length, fixed)
-        elif isinstance(cmd, SpillCommand):
-            out.append(OP_SPILL)
-            _put_int(out, cmd.src, fixed)
-            _put_int(out, cmd.scratch, fixed)
-            _put_int(out, cmd.length, fixed)
-        elif isinstance(cmd, FillCommand):
-            out.append(OP_FILL)
-            _put_int(out, cmd.scratch, fixed)
-            _put_int(out, cmd.dst, fixed)
-            _put_int(out, cmd.length, fixed)
-        else:
-            done = 0
-            while done < cmd.length:
-                step = min(MAX_ADD_CHUNK, cmd.length - done)
-                out.append(OP_ADD)
-                if with_offsets:
-                    _put_int(out, cmd.dst + done, fixed)
-                out.append(step)
-                out += cmd.data[done:done + step]
-                done += step
-
+    out += encode_varint(len(reference) if reference is not None else 0)
+    ref_crc = version_checksum(reference) if reference is not None else 0
+    out += ref_crc.to_bytes(4, "little")
+    out += body
     out.append(OP_END)
+    out += (zlib.crc32(out) & 0xFFFFFFFF).to_bytes(4, "little")
     return bytes(out)
 
 
-def decode_delta(data: Buffer) -> Tuple[DeltaScript, DeltaHeader]:
-    """Parse a serialized delta file back into a script and its header.
+def _decode_commands(
+    data: Buffer,
+    pos: int,
+    bound: int,
+    fixed: bool,
+    with_offsets: bool,
+    segment_crcs: bool,
+) -> Tuple[List[Command], int]:
+    """Parse codewords from ``data[pos:bound]`` up to and incl. ``OP_END``.
 
-    Sequential files decode with write offsets reconstructed from the
-    running cursor; in-place files decode in serialized (application)
-    order.  Raises :class:`DeltaFormatError` on any malformation.
+    ``bound`` excludes any trailer; ``segment_crcs`` enables ``OP_CRC``
+    checkpoint verification (and requires every codeword to be covered
+    by one).  Returns the commands and the position just past ``OP_END``.
     """
-    if len(data) < _HEADER_FIXED or bytes(data[:4]) != MAGIC:
-        raise DeltaFormatError("not a delta file (bad magic)")
-    fmt = data[4]
-    if fmt not in ALL_FORMATS:
-        raise DeltaFormatError("unknown delta format %d" % fmt)
-    fixed = fmt in _FIXED_FORMATS
-    with_offsets = fmt in _INPLACE_FORMATS
-    pos = _HEADER_FIXED
-    version_length, pos = decode_varint(data, pos)
-    scratch_length, pos = decode_varint(data, pos)
-    if pos + 4 > len(data):
-        raise DeltaFormatError("truncated header")
-    crc = int.from_bytes(data[pos:pos + 4], "little")
-    pos += 4
-    header = DeltaHeader(fmt, version_length, scratch_length, crc)
-
     commands: List[Command] = []
     cursor = 0  # implicit write offset for the sequential format
+    seg_start = pos
     while True:
-        if pos >= len(data):
+        if pos >= bound:
             raise DeltaFormatError("delta file ended without OP_END")
         op = data[pos]
         pos += 1
         if op == OP_END:
+            if segment_crcs and pos - 1 != seg_start:
+                raise DeltaFormatError(
+                    "codewords after the final segment checkpoint"
+                )
             break
+        if op == OP_CRC:
+            if not segment_crcs:
+                raise DeltaFormatError(
+                    "unexpected segment checkpoint at byte %d" % (pos - 1)
+                )
+            if pos - 1 == seg_start:
+                raise DeltaFormatError(
+                    "empty segment checkpoint at byte %d" % (pos - 1)
+                )
+            if pos + 4 > bound:
+                raise DeltaFormatError("truncated segment checkpoint")
+            expected = zlib.crc32(memoryview(data)[seg_start:pos - 1]) \
+                & 0xFFFFFFFF
+            stored = int.from_bytes(data[pos:pos + 4], "little")
+            if stored != expected:
+                raise IntegrityError(
+                    "segment checkpoint at byte %d failed: stored 0x%08x, "
+                    "computed 0x%08x" % (pos - 1, stored, expected),
+                    kind="segment", offset=pos - 1,
+                    expected=stored, actual=expected,
+                )
+            pos += 4
+            seg_start = pos
+            continue
         if op == OP_COPY:
             src, pos = _get_int(data, pos, fixed)
             if with_offsets:
@@ -264,56 +432,193 @@ def decode_delta(data: Buffer) -> Tuple[DeltaScript, DeltaHeader]:
                 dst, pos = _get_int(data, pos, fixed)
             else:
                 dst = cursor
-            if pos >= len(data):
+            if pos >= bound:
                 raise DeltaFormatError("truncated add length at byte %d" % pos)
             length = data[pos]
             pos += 1
             if length == 0:
                 raise DeltaFormatError("zero-length add at byte %d" % (pos - 1))
-            if pos + length > len(data):
+            if pos + length > bound:
                 raise DeltaFormatError("truncated add data at byte %d" % pos)
             commands.append(AddCommand(dst, bytes(data[pos:pos + length])))
             pos += length
             cursor = dst + length
         else:
             raise DeltaFormatError("unknown opcode 0x%02x at byte %d" % (op, pos - 1))
+        if segment_crcs and pos - seg_start > SEGMENT_LIMIT_BYTES:
+            raise DeltaFormatError(
+                "segment checkpoint overdue at byte %d" % pos
+            )
+    return commands, pos
+
+
+def _decode_v2(data: Buffer) -> Tuple[DeltaScript, DeltaHeader]:
+    """Parse an ``IPD2`` file: trailer first, then header, then commands."""
+    if len(data) < _V2_MIN_SIZE:
+        raise DeltaFormatError(
+            "truncated IPD2 file: %d bytes, need at least %d"
+            % (len(data), _V2_MIN_SIZE)
+        )
+    stored = int.from_bytes(data[len(data) - 4:], "little")
+    computed = zlib.crc32(memoryview(data)[:len(data) - 4]) & 0xFFFFFFFF
+    if stored != computed:
+        raise IntegrityError(
+            "delta trailer CRC failed: stored 0x%08x, computed 0x%08x — "
+            "the file is corrupt or truncated" % (stored, computed),
+            kind="trailer", expected=stored, actual=computed,
+        )
+    fmt = data[4]
+    if fmt not in ALL_FORMATS:
+        raise DeltaFormatError("unknown delta format %d" % fmt)
+    flags = data[5]
+    if flags & ~_KNOWN_FLAGS:
+        raise DeltaFormatError(
+            "unknown IPD2 flag bits 0x%02x" % (flags & ~_KNOWN_FLAGS)
+        )
+    fixed = fmt in _FIXED_FORMATS
+    with_offsets = fmt in _INPLACE_FORMATS
+    pos = _V2_FIXED
+    version_length, pos = decode_varint(data, pos)
+    scratch_length, pos = decode_varint(data, pos)
+    if pos + 4 > len(data):
+        raise DeltaFormatError("truncated header")
+    version_crc = int.from_bytes(data[pos:pos + 4], "little")
+    pos += 4
+    reference_length, pos = decode_varint(data, pos)
+    if pos + 4 > len(data):
+        raise DeltaFormatError("truncated header")
+    reference_crc = int.from_bytes(data[pos:pos + 4], "little")
+    pos += 4
+    has_reference = bool(flags & FLAG_HAS_REFERENCE)
+    header = DeltaHeader(
+        fmt, version_length, scratch_length, version_crc,
+        magic=WIRE_V2,
+        has_checksum=bool(flags & FLAG_HAS_VERSION_CRC),
+        reference_length=reference_length if has_reference else None,
+        reference_crc32=reference_crc if has_reference else None,
+        has_segment_crcs=bool(flags & FLAG_SEGMENT_CRCS),
+    )
+    bound = len(data) - 4
+    commands, pos = _decode_commands(
+        data, pos, bound, fixed, with_offsets, header.has_segment_crcs
+    )
+    if pos != bound:
+        raise DeltaFormatError(
+            "%d trailing bytes after OP_END" % (bound - pos)
+        )
     return DeltaScript(commands, version_length), header
 
 
-def encoded_size(script: DeltaScript, format: int = FORMAT_INPLACE) -> int:
+def decode_delta(data: Buffer) -> Tuple[DeltaScript, DeltaHeader]:
+    """Parse a serialized delta file back into a script and its header.
+
+    Sequential files decode with write offsets reconstructed from the
+    running cursor; in-place files decode in serialized (application)
+    order.  Raises :class:`DeltaFormatError` on any malformation.
+
+    ``IPD2`` files are *verified before they are parsed*: the trailer
+    CRC over the whole file is checked first (raising
+    :class:`~repro.exceptions.IntegrityError` with ``kind="trailer"``
+    on mismatch), then segment checkpoints are re-verified during the
+    parse.  A successfully decoded ``IPD2`` delta is therefore known
+    bit-exact as produced.
+    """
+    if len(data) >= 4 and bytes(data[:4]) == MAGIC_V2:
+        return _decode_v2(data)
+    if len(data) < _HEADER_FIXED or bytes(data[:4]) != MAGIC:
+        raise DeltaFormatError("not a delta file (bad magic)")
+    fmt = data[4]
+    if fmt not in ALL_FORMATS:
+        raise DeltaFormatError("unknown delta format %d" % fmt)
+    fixed = fmt in _FIXED_FORMATS
+    with_offsets = fmt in _INPLACE_FORMATS
+    pos = _HEADER_FIXED
+    version_length, pos = decode_varint(data, pos)
+    scratch_length, pos = decode_varint(data, pos)
+    if pos + 4 > len(data):
+        raise DeltaFormatError("truncated header")
+    crc = int.from_bytes(data[pos:pos + 4], "little")
+    pos += 4
+    header = DeltaHeader(fmt, version_length, scratch_length, crc)
+    commands, pos = _decode_commands(
+        data, pos, len(data), fixed, with_offsets, False
+    )
+    if pos != len(data):
+        raise DeltaFormatError(
+            "%d trailing bytes after OP_END" % (len(data) - pos)
+        )
+    return DeltaScript(commands, version_length), header
+
+
+def encoded_size(
+    script: DeltaScript,
+    format: int = FORMAT_INPLACE,
+    *,
+    wire: int = WIRE_V1,
+    reference_length: int = 0,
+) -> int:
     """Exact size :func:`encode_delta` would produce, without building bytes.
 
     The compression benches call this thousands of times; it mirrors the
     encoder's codeword arithmetic and the tests pin the two together.
+    The default prices the legacy ``IPD1`` container — the paper's cost
+    model, which the converter's eviction pricing depends on; pass
+    ``wire=WIRE_V2`` (and the reference length, whose varint is sized
+    in) to price the self-verifying container including its checkpoints
+    and trailer.
     """
     if format not in ALL_FORMATS:
         raise DeltaFormatError("unknown delta format %d" % format)
+    if wire not in (WIRE_V1, WIRE_V2):
+        raise DeltaFormatError("unknown wire container %d" % wire)
     fixed = format in _FIXED_FORMATS
     with_offsets = format in _INPLACE_FORMATS
     field = (lambda value: 4) if fixed else varint_size
 
-    size = _HEADER_FIXED + varint_size(script.version_length) \
-        + varint_size(script.scratch_length) + 4
-    for cmd in script.commands:
-        if isinstance(cmd, CopyCommand):
-            size += 1 + field(cmd.src) + field(cmd.length)
-            if with_offsets:
-                size += field(cmd.dst)
-        elif isinstance(cmd, SpillCommand):
-            size += 1 + field(cmd.src) + field(cmd.scratch) + field(cmd.length)
-        elif isinstance(cmd, FillCommand):
-            size += 1 + field(cmd.scratch) + field(cmd.dst) + field(cmd.length)
-        else:
-            done = 0
-            while done < cmd.length:
-                step = min(MAX_ADD_CHUNK, cmd.length - done)
-                size += 1 + 1 + step
+    def word_sizes() -> Iterator[int]:
+        for cmd in script.commands:
+            if isinstance(cmd, CopyCommand):
+                size = 1 + field(cmd.src) + field(cmd.length)
                 if with_offsets:
-                    size += field(cmd.dst + done)
-                done += step
-    return size + 1  # OP_END
+                    size += field(cmd.dst)
+                yield size
+            elif isinstance(cmd, SpillCommand):
+                yield 1 + field(cmd.src) + field(cmd.scratch) + field(cmd.length)
+            elif isinstance(cmd, FillCommand):
+                yield 1 + field(cmd.scratch) + field(cmd.dst) + field(cmd.length)
+            else:
+                done = 0
+                while done < cmd.length:
+                    step = min(MAX_ADD_CHUNK, cmd.length - done)
+                    size = 1 + 1 + step
+                    if with_offsets:
+                        size += field(cmd.dst + done)
+                    done += step
+                    yield size
+
+    if wire == WIRE_V1:
+        size = _HEADER_FIXED + varint_size(script.version_length) \
+            + varint_size(script.scratch_length) + 4
+        for word in word_sizes():
+            size += word
+        return size + 1  # OP_END
+
+    size = _V2_FIXED + varint_size(script.version_length) \
+        + varint_size(script.scratch_length) + 4 \
+        + varint_size(reference_length) + 4
+    body = 0
+    seg = 0
+    for word in word_sizes():
+        body += word
+        seg += word
+        if seg >= SEGMENT_TARGET_BYTES:
+            body += 5  # OP_CRC + crc32
+            seg = 0
+    if seg:
+        body += 5
+    return size + body + 1 + 4  # body + OP_END + trailer
 
 
 def version_checksum(version: Buffer) -> int:
     """CRC32 the encoder stores so appliers can verify reconstruction."""
-    return zlib.crc32(bytes(version)) & 0xFFFFFFFF
+    return zlib.crc32(version) & 0xFFFFFFFF

@@ -12,11 +12,23 @@ OTA updaters consume patches today.
 :func:`iter_delta_commands` incrementally parses any of the four wire
 formats from a file-like object; :func:`apply_delta_stream` drives the
 in-place engine from it, command by command.
+
+``IPD2`` streams are verified as they are consumed: a rolling CRC is
+kept over the wire bytes and checked against every ``OP_CRC`` segment
+checkpoint, so a bit-flip halts — with its wire offset — within at most
+:data:`~repro.delta.encode.SEGMENT_LIMIT_BYTES` bytes of where it
+happened, and the whole-file trailer is checked at ``OP_END``.  A
+streaming applier cannot be fully abort-before-mutate (the point of
+streaming is not holding the file); the checkpoints bound the damage
+window instead, and the buffered path (:func:`repro.delta.encode
+.decode_delta` plus :func:`repro.core.apply.preflight_in_place`)
+provides the strict verify-then-mutate contract.
 """
 
 from __future__ import annotations
 
 import io
+import zlib
 from typing import BinaryIO, Iterator, Optional, Tuple, Union
 
 from ..core.commands import (
@@ -27,19 +39,66 @@ from ..core.commands import (
     SpillCommand,
 )
 from ..core.intervals import DynamicIntervalSet
-from ..exceptions import DeltaFormatError, DeltaRangeError, WriteBeforeReadError
+from ..exceptions import (
+    DeltaFormatError,
+    DeltaRangeError,
+    IntegrityError,
+    WriteBeforeReadError,
+)
 from .encode import (
     ALL_FORMATS,
+    FLAG_HAS_REFERENCE,
+    FLAG_HAS_VERSION_CRC,
+    FLAG_SEGMENT_CRCS,
     MAGIC,
+    MAGIC_V2,
     OP_ADD,
     OP_COPY,
+    OP_CRC,
     OP_END,
     OP_FILL,
     OP_SPILL,
+    SEGMENT_LIMIT_BYTES,
+    WIRE_V2,
     _FIXED_FORMATS,
     _INPLACE_FORMATS,
+    _KNOWN_FLAGS,
     DeltaHeader,
 )
+
+
+class _TrackingReader:
+    """Wrap a stream, keeping rolling CRCs over everything read.
+
+    ``crc_total`` covers every byte read so far (the trailer check);
+    ``crc_segment`` covers bytes since the last :meth:`reset_segment`
+    (the checkpoint check).  ``seg_before_last`` is the segment CRC as
+    it stood *before* the most recent read — when the decoder reads an
+    opcode byte and it turns out to be ``OP_CRC``, that is the value the
+    checkpoint was computed over (the checkpoint opcode itself is not
+    part of its segment).
+    """
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        self.crc_total = 0
+        self.crc_segment = 0
+        self.seg_before_last = 0
+        #: Bytes read so far — wire offsets for error reports.
+        self.offset = 0
+
+    def read(self, n: int) -> bytes:
+        data = self._stream.read(n)
+        self.seg_before_last = self.crc_segment
+        if data:
+            self.crc_total = zlib.crc32(data, self.crc_total) & 0xFFFFFFFF
+            self.crc_segment = zlib.crc32(data, self.crc_segment) & 0xFFFFFFFF
+            self.offset += len(data)
+        return data
+
+    def reset_segment(self) -> None:
+        self.crc_segment = 0
+        self.seg_before_last = 0
 
 
 def _read_exact(stream: BinaryIO, n: int) -> bytes:
@@ -72,6 +131,29 @@ def _read_field(stream: BinaryIO, fixed: bool) -> int:
 def read_header(stream: BinaryIO) -> DeltaHeader:
     """Parse and return the delta header from ``stream``."""
     magic = _read_exact(stream, 4)
+    if magic == MAGIC_V2:
+        fmt = _read_exact(stream, 1)[0]
+        if fmt not in ALL_FORMATS:
+            raise DeltaFormatError("unknown delta format %d" % fmt)
+        flags = _read_exact(stream, 1)[0]
+        if flags & ~_KNOWN_FLAGS:
+            raise DeltaFormatError(
+                "unknown IPD2 flag bits 0x%02x" % (flags & ~_KNOWN_FLAGS)
+            )
+        version_length = _read_varint(stream)
+        scratch_length = _read_varint(stream)
+        version_crc = int.from_bytes(_read_exact(stream, 4), "little")
+        reference_length = _read_varint(stream)
+        reference_crc = int.from_bytes(_read_exact(stream, 4), "little")
+        has_reference = bool(flags & FLAG_HAS_REFERENCE)
+        return DeltaHeader(
+            fmt, version_length, scratch_length, version_crc,
+            magic=WIRE_V2,
+            has_checksum=bool(flags & FLAG_HAS_VERSION_CRC),
+            reference_length=reference_length if has_reference else None,
+            reference_crc32=reference_crc if has_reference else None,
+            has_segment_crcs=bool(flags & FLAG_SEGMENT_CRCS),
+        )
     if magic != MAGIC:
         raise DeltaFormatError("not a delta file (bad magic)")
     fmt = _read_exact(stream, 1)[0]
@@ -92,52 +174,106 @@ def iter_delta_commands(
     :class:`io.BytesIO`).  The returned iterator holds at most one
     command's worth of data (≤ 255 literal bytes) at a time and raises
     :class:`DeltaFormatError` on malformed or truncated input.
+
+    For ``IPD2`` streams the iterator also verifies every segment
+    checkpoint as it passes (raising
+    :class:`~repro.exceptions.IntegrityError` with ``kind="segment"``
+    and the wire offset) and the whole-file trailer at ``OP_END``
+    (``kind="trailer"``).
     """
     if isinstance(stream, (bytes, bytearray, memoryview)):
         stream = io.BytesIO(stream)
-    header = read_header(stream)
+    tracker = _TrackingReader(stream)
+    header = read_header(tracker)
     fixed = header.format in _FIXED_FORMATS
     with_offsets = header.format in _INPLACE_FORMATS
+    v2 = header.magic == WIRE_V2
+    # Segments cover codeword bytes only, starting after the header.
+    tracker.reset_segment()
 
     def commands() -> Iterator[Command]:
         cursor = 0
+        seg_anchor = tracker.offset
         while True:
-            op = _read_exact(stream, 1)[0]
+            op_offset = tracker.offset
+            op = _read_exact(tracker, 1)[0]
             if op == OP_END:
+                if v2:
+                    if header.has_segment_crcs and op_offset != seg_anchor:
+                        raise DeltaFormatError(
+                            "codewords after the final segment checkpoint"
+                        )
+                    computed = tracker.crc_total
+                    stored = int.from_bytes(_read_exact(tracker, 4), "little")
+                    if stored != computed:
+                        raise IntegrityError(
+                            "delta trailer CRC failed: stored 0x%08x, "
+                            "computed 0x%08x" % (stored, computed),
+                            kind="trailer", offset=op_offset + 1,
+                            expected=stored, actual=computed,
+                        )
                 return
+            if op == OP_CRC:
+                if not (v2 and header.has_segment_crcs):
+                    raise DeltaFormatError(
+                        "unexpected segment checkpoint at byte %d" % op_offset
+                    )
+                if op_offset == seg_anchor:
+                    raise DeltaFormatError(
+                        "empty segment checkpoint at byte %d" % op_offset
+                    )
+                computed = tracker.seg_before_last
+                stored = int.from_bytes(_read_exact(tracker, 4), "little")
+                if stored != computed:
+                    raise IntegrityError(
+                        "segment checkpoint at byte %d failed: stored "
+                        "0x%08x, computed 0x%08x"
+                        % (op_offset, stored, computed),
+                        kind="segment", offset=op_offset,
+                        expected=stored, actual=computed,
+                    )
+                tracker.reset_segment()
+                seg_anchor = tracker.offset
+                continue
             if op == OP_COPY:
-                src = _read_field(stream, fixed)
-                dst = _read_field(stream, fixed) if with_offsets else cursor
-                length = _read_field(stream, fixed)
+                src = _read_field(tracker, fixed)
+                dst = _read_field(tracker, fixed) if with_offsets else cursor
+                length = _read_field(tracker, fixed)
                 if length == 0:
                     raise DeltaFormatError("zero-length copy in stream")
                 cursor = dst + length
-                yield CopyCommand(src, dst, length)
+                result: Command = CopyCommand(src, dst, length)
             elif op in (OP_SPILL, OP_FILL):
                 if not with_offsets:
                     raise DeltaFormatError(
                         "opcode 0x%02x not valid in a sequential delta" % op
                     )
-                a = _read_field(stream, fixed)
-                b = _read_field(stream, fixed)
-                length = _read_field(stream, fixed)
+                a = _read_field(tracker, fixed)
+                b = _read_field(tracker, fixed)
+                length = _read_field(tracker, fixed)
                 if length == 0:
                     raise DeltaFormatError("zero-length scratch command in stream")
                 if op == OP_SPILL:
-                    yield SpillCommand(a, b, length)
+                    result = SpillCommand(a, b, length)
                 else:
                     cursor = b + length
-                    yield FillCommand(a, b, length)
+                    result = FillCommand(a, b, length)
             elif op == OP_ADD:
-                dst = _read_field(stream, fixed) if with_offsets else cursor
-                length = _read_exact(stream, 1)[0]
+                dst = _read_field(tracker, fixed) if with_offsets else cursor
+                length = _read_exact(tracker, 1)[0]
                 if length == 0:
                     raise DeltaFormatError("zero-length add in stream")
-                data = _read_exact(stream, length)
+                data = _read_exact(tracker, length)
                 cursor = dst + length
-                yield AddCommand(dst, data)
+                result = AddCommand(dst, data)
             else:
                 raise DeltaFormatError("unknown opcode 0x%02x in stream" % op)
+            if v2 and header.has_segment_crcs and \
+                    tracker.offset - seg_anchor > SEGMENT_LIMIT_BYTES:
+                raise DeltaFormatError(
+                    "segment checkpoint overdue at byte %d" % tracker.offset
+                )
+            yield result
 
     return header, commands()
 
@@ -180,9 +316,7 @@ def apply_delta_stream(
                     "streamed command %d reads already-written bytes" % i,
                     reader_index=i,
                 )
-        if isinstance(cmd, CopyCommand):
-            _directional_copy(buffer, cmd.src, cmd.dst, cmd.length, chunk_size)
-        elif isinstance(cmd, SpillCommand):
+        if isinstance(cmd, SpillCommand):
             end = cmd.scratch + cmd.length
             if end > len(scratch):
                 raise DeltaRangeError(
@@ -191,7 +325,20 @@ def apply_delta_stream(
                 )
             scratch[cmd.scratch:end] = buffer[cmd.src:cmd.src + cmd.length]
             continue  # spills write no version bytes
+        if cmd.dst + cmd.length > len(buffer):
+            raise DeltaRangeError(
+                "streamed command %d writes [%d, %d) beyond the %d-byte "
+                "version region"
+                % (i, cmd.dst, cmd.dst + cmd.length, len(buffer))
+            )
+        if isinstance(cmd, CopyCommand):
+            _directional_copy(buffer, cmd.src, cmd.dst, cmd.length, chunk_size)
         elif isinstance(cmd, FillCommand):
+            if cmd.scratch + cmd.length > len(scratch):
+                raise DeltaRangeError(
+                    "streamed fill %d reads beyond declared scratch size %d"
+                    % (i, len(scratch))
+                )
             buffer[cmd.dst:cmd.dst + cmd.length] = \
                 scratch[cmd.scratch:cmd.scratch + cmd.length]
         else:

@@ -29,8 +29,9 @@ power died on.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from ..core.apply import _directional_copy
 from ..core.commands import (
@@ -40,7 +41,8 @@ from ..core.commands import (
     FillCommand,
     SpillCommand,
 )
-from ..exceptions import DeviceError, ReproError
+from ..delta.varint import decode_varint, encode_varint
+from ..exceptions import DeltaFormatError, DeviceError, IntegrityError, ReproError
 
 Buffer = Union[bytes, bytearray, memoryview]
 
@@ -110,9 +112,24 @@ class CrashingStorage:
         else:
             self._data.extend(b"\x00" * (size - len(self._data)))
 
+    def flip(self, offset: int, mask: int = 0x01) -> None:
+        """Flip bits at ``offset`` with no fuel charge (simulated bit rot).
+
+        This is how the fault plane's ``storage.bitflip`` site corrupts
+        the image: silently, outside the write path, the way a failing
+        flash cell would.
+        """
+        self._data[offset] ^= mask
+
     def snapshot(self) -> bytes:
         """Current contents (what would survive the crash)."""
         return bytes(self._data)
+
+
+#: Journal wire record types (see :meth:`Journal.to_bytes`).
+_REC_STATE = 0x01
+_REC_SCRATCH = 0x02
+_REC_BACKUP = 0x03
 
 
 @dataclass
@@ -120,9 +137,13 @@ class Journal:
     """The durable progress record.  Tiny by design.
 
     Real devices put this in a reserved flash sector; here it is a plain
-    object the crash harness preserves across simulated reboots (journal
-    writes are assumed atomic, the standard assumption for a one-sector
-    journal).
+    object the crash harness preserves across simulated reboots.  The
+    in-memory protocol assumes journal *updates* are atomic (the
+    standard one-sector assumption); :meth:`to_bytes` /
+    :meth:`from_bytes` serialize the journal with per-record CRCs so a
+    journal read back from storage can distinguish a torn tail (the
+    power died mid-write of the final record — recoverable, the record
+    is dropped) from bit rot in an earlier record (``IntegrityError``).
     """
 
     next_index: int = 0
@@ -133,11 +154,132 @@ class Journal:
     scratch: bytearray = field(default_factory=bytearray)
     #: Set once the final command completes and the tail is truncated.
     complete: bool = False
+    #: CRC32 folded, in order, over the storage bytes each completed
+    #: command wrote (commands with disjoint writes — Equation 2's
+    #: scripts — make this a digest of every already-applied region).
+    applied_crc: int = 0
+    #: Set by :meth:`from_bytes` when a partially-written trailing
+    #: record was dropped during recovery (informational).
+    torn_tail: bool = field(default=False, compare=False)
 
     @property
     def size_bytes(self) -> int:
-        """Footprint a real device would need for this journal state."""
-        return 16 + len(self.backup_data) + len(self.scratch)
+        """Footprint a real device would need for this journal state.
+
+        24 fixed bytes: command index, overlap offset, applied-region
+        CRC, completion flag, and the record framing/CRCs of
+        :meth:`to_bytes`, rounded up.
+        """
+        return 24 + len(self.backup_data) + len(self.scratch)
+
+    # -- durable serialization -----------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize for the journal sector: self-checking records.
+
+        Each record is ``type u8 | length varint | payload | crc32
+        u32le`` where the CRC covers the type, length and payload.
+        Records are written in write-ahead order — state, scratch
+        mirror, then the copy-overlap backup — so a torn final record
+        is always the one whose protected action had not begun.
+        """
+        out = bytearray()
+
+        def record(rtype: int, payload: bytes) -> None:
+            rec = bytearray((rtype,))
+            rec += encode_varint(len(payload))
+            rec += payload
+            out.extend(rec)
+            out.extend((zlib.crc32(rec) & 0xFFFFFFFF).to_bytes(4, "little"))
+
+        state = bytearray()
+        state += encode_varint(self.next_index)
+        state += (self.applied_crc & 0xFFFFFFFF).to_bytes(4, "little")
+        state.append(1 if self.complete else 0)
+        record(_REC_STATE, bytes(state))
+        if self.scratch:
+            record(_REC_SCRATCH, bytes(self.scratch))
+        if self.backup_offset >= 0:
+            backup = bytearray()
+            backup += encode_varint(self.backup_offset)
+            backup += self.backup_data
+            record(_REC_BACKUP, bytes(backup))
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: Buffer) -> "Journal":
+        """Recover a journal from its serialized sector.
+
+        A torn tail — the final record truncated or failing its CRC
+        because the power died while it was being written — is
+        *dropped*, not fatal: the journal recovers to the last fully
+        durable state and ``torn_tail`` is set.  A CRC failure on a
+        record that is **not** the last one cannot be explained by a
+        torn write and raises :class:`~repro.exceptions.IntegrityError`
+        with ``kind="journal"`` — the sector has rotted and resuming
+        from it would corrupt the image.
+        """
+        journal = cls()
+        data = bytes(data)
+        pos = 0
+        while pos < len(data):
+            start = pos
+            rtype = data[pos]
+            try:
+                paylen, body = decode_varint(data, pos + 1)
+            except DeltaFormatError:
+                if len(data) - (pos + 1) >= 10:
+                    # Ten bytes were available and still no varint end:
+                    # that is corruption, not a torn (truncated) write.
+                    raise IntegrityError(
+                        "journal record length at byte %d is not a valid "
+                        "varint" % (pos + 1),
+                        kind="journal", offset=pos + 1,
+                    ) from None
+                journal.torn_tail = True  # length field itself is torn
+                break
+            end = body + paylen + 4
+            if end > len(data):
+                journal.torn_tail = True
+                break
+            stored = int.from_bytes(data[end - 4:end], "little")
+            computed = zlib.crc32(data[start:end - 4]) & 0xFFFFFFFF
+            if stored != computed:
+                if end == len(data):
+                    journal.torn_tail = True  # partially overwritten tail
+                    break
+                raise IntegrityError(
+                    "journal record at byte %d failed its CRC with %d "
+                    "bytes following — the journal sector is corrupt, "
+                    "not torn; resuming would damage the image"
+                    % (start, len(data) - end),
+                    kind="journal", offset=start,
+                    expected=stored, actual=computed,
+                )
+            payload = data[body:end - 4]
+            if rtype == _REC_STATE:
+                journal.next_index, p = decode_varint(payload, 0)
+                if p + 5 > len(payload):
+                    raise DeltaFormatError(
+                        "journal state record payload is short"
+                    )
+                journal.applied_crc = int.from_bytes(
+                    payload[p:p + 4], "little"
+                )
+                journal.complete = bool(payload[p + 4])
+            elif rtype == _REC_SCRATCH:
+                journal.scratch = bytearray(payload)
+            elif rtype == _REC_BACKUP:
+                offset, p = decode_varint(payload, 0)
+                journal.backup_offset = offset
+                journal.backup_data = payload[p:]
+            else:
+                raise DeltaFormatError(
+                    "unknown journal record type 0x%02x at byte %d"
+                    % (rtype, start)
+                )
+            pos = end
+        return journal
 
 
 class JournaledApplier:
@@ -159,8 +301,19 @@ class JournaledApplier:
         self._script = script
         self._journal = journal
 
-    def run(self, storage: CrashingStorage, *, chunk_size: int = 4096) -> None:
-        """Execute (or resume) the script against ``storage``."""
+    def run(self, storage: CrashingStorage, *, chunk_size: int = 4096,
+            verify_resume: bool = True) -> None:
+        """Execute (or resume) the script against ``storage``.
+
+        On a resume (the journal shows progress), the storage regions
+        written by every completed command are re-digested and checked
+        against the journal's cumulative ``applied_crc`` before any new
+        write: replay after a clean power cut passes, but storage that
+        rotted while the device was down raises
+        :class:`~repro.exceptions.IntegrityError` with ``kind="resume"``
+        instead of silently building a corrupt image on top.  Pass
+        ``verify_resume=False`` to skip (trusted storage).
+        """
         journal = self._journal
         script = self._script
         if journal.complete:
@@ -172,6 +325,8 @@ class JournaledApplier:
         needed = max(script.version_length, len(storage))
         if needed > len(storage):
             storage.resize(needed)
+        if verify_resume and journal.next_index > 0:
+            self._verify_applied(storage)
 
         commands = script.commands
         while journal.next_index < len(commands):
@@ -193,14 +348,49 @@ class JournaledApplier:
                 storage[cmd.dst:cmd.dst + cmd.length] = cmd.data
             else:  # pragma: no cover - exhaustive over command types
                 raise ReproError("unknown command type %r" % (cmd,))
-            # Command finished: advance the journal (atomic by assumption)
+            # Command finished: fold what it wrote into the applied
+            # digest, then advance the journal (atomic by assumption)
             # and drop any overlap backup.
+            journal.applied_crc = self._fold_applied(
+                storage, cmd, journal.applied_crc
+            )
             journal.backup_offset = -1
             journal.backup_data = b""
             journal.next_index = index + 1
 
         storage.resize(script.version_length)
         journal.complete = True
+
+    @staticmethod
+    def _fold_applied(storage: CrashingStorage, cmd,
+                      crc: int) -> int:
+        """Fold one completed command's written storage bytes into ``crc``.
+
+        Spills write no storage, so they fold nothing — their durable
+        effect lives in the journal's scratch mirror, which has its own
+        record CRC.
+        """
+        if isinstance(cmd, SpillCommand):
+            return crc
+        start = cmd.write_interval.start
+        stop = cmd.write_interval.stop + 1
+        return zlib.crc32(bytes(storage[start:stop]), crc) & 0xFFFFFFFF
+
+    def _verify_applied(self, storage: CrashingStorage) -> None:
+        """Re-digest every completed command's written region on resume."""
+        journal = self._journal
+        crc = 0
+        for cmd in self._script.commands[:journal.next_index]:
+            crc = self._fold_applied(storage, cmd, crc)
+        if crc != journal.applied_crc:
+            raise IntegrityError(
+                "resume verification failed: the %d already-applied "
+                "commands' regions digest to 0x%08x but the journal "
+                "recorded 0x%08x — storage was corrupted while the "
+                "device was down; halting instead of building on rot"
+                % (journal.next_index, crc, journal.applied_crc),
+                kind="resume", expected=journal.applied_crc, actual=crc,
+            )
 
     def _run_copy(self, storage: CrashingStorage, cmd: CopyCommand,
                   chunk_size: int) -> None:

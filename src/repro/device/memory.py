@@ -23,7 +23,12 @@ import zlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from ..core.apply import apply_delta, apply_in_place
+from ..core.apply import (
+    apply_delta,
+    apply_in_place,
+    preflight_in_place,
+    verify_reference,
+)
 from ..core.commands import DeltaScript
 from ..delta.encode import decode_delta
 from ..delta.wrapper import INFLATE_RAM, SealedReader, is_sealed, unseal
@@ -135,10 +140,11 @@ class ConstrainedDevice:
                 unsealed = True
                 payload = raw
             script, header = decode_delta(payload)
+            verify_reference(header, self._storage)
             self.ram.allocate("version-scratch", script.version_length)
             try:
                 new_image = apply_delta(script, self._storage)
-                self._verify(new_image, header.version_crc32)
+                self._verify(new_image, header)
                 self._commit(new_image)
             finally:
                 self.ram.free("version-scratch")
@@ -173,13 +179,14 @@ class ConstrainedDevice:
                     "new version (%d bytes) exceeds storage limit %d"
                     % (script.version_length, self.storage_limit)
                 )
+            preflight_in_place(script, header, self._storage)
             if header.scratch_length:
                 self.ram.allocate("scratch", header.scratch_length)
                 scratch_allocated = True
             apply_in_place(
                 script, self._storage, strict=True, chunk_size=self.copy_window
             )
-            self._verify(self._storage, header.version_crc32)
+            self._verify(self._storage, header)
             self.updates_applied += 1
         finally:
             if unsealed:
@@ -220,6 +227,7 @@ class ConstrainedDevice:
                     "new version (%d bytes) exceeds storage limit %d"
                     % (header.version_length, self.storage_limit)
                 )
+            verify_reference(header, self._storage)
             if header.scratch_length:
                 self.ram.allocate("scratch", header.scratch_length)
                 scratch_allocated = True
@@ -227,7 +235,7 @@ class ConstrainedDevice:
             apply_delta_stream(
                 source, self._storage, strict=True, chunk_size=self.copy_window
             )
-            self._verify(self._storage, header.version_crc32)
+            self._verify(self._storage, header)
             self.updates_applied += 1
         finally:
             if inflater_allocated:
@@ -269,12 +277,13 @@ class ConstrainedDevice:
         self._storage = bytearray(new_image)
         self.updates_applied += 1
 
-    def _verify(self, image: bytes, expected_crc: int) -> None:
-        if expected_crc == 0:
-            return  # producer recorded no checksum
+    def _verify(self, image: bytes, header) -> None:
+        if not header.has_checksum:
+            return  # producer recorded no checksum (explicit flag in
+            # IPD2; for IPD1 the legacy zero-CRC heuristic applies)
         actual = zlib.crc32(image) & 0xFFFFFFFF
-        if actual != expected_crc:
+        if actual != header.version_crc32:
             raise VerificationError(
                 "reconstructed image checksum 0x%08x != expected 0x%08x"
-                % (actual, expected_crc)
+                % (actual, header.version_crc32)
             )

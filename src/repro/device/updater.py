@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..core.apply import preflight_in_place, storage_crc32
 from ..core.convert import make_in_place
 from ..delta import ALGORITHMS
 from ..delta.encode import (
@@ -47,6 +48,8 @@ from ..delta.encode import (
 from ..delta.wrapper import is_sealed, seal, unseal
 from ..exceptions import (
     DeltaFormatError,
+    DeltaRangeError,
+    IntegrityError,
     OutOfMemoryError,
     ReproError,
     StorageBoundsError,
@@ -131,13 +134,18 @@ class UpdateServer:
         script = ALGORITHMS[self.algorithm](old, new)
         if strategy == "delta":
             return wrap(encode_delta(
-                script, FORMAT_SEQUENTIAL, version_crc32=version_checksum(new)
+                script, FORMAT_SEQUENTIAL,
+                version_crc32=version_checksum(new), reference=old,
             ))
         if strategy in ("in-place", "in-place-stream"):
             converted = make_in_place(script, old, policy=self.policy,
                                       scratch_budget=self.scratch_budget)
+            # The self-verifying IPD2 container: in-place application is
+            # destructive, so the payload carries the reference digest
+            # the device checks before the first overwrite.
             return wrap(encode_delta(
-                converted.script, FORMAT_INPLACE, version_crc32=version_checksum(new)
+                converted.script, FORMAT_INPLACE,
+                version_crc32=version_checksum(new), reference=old,
             ))
         raise ValueError(
             "unknown strategy %r; choose from %s" % (strategy, ", ".join(STRATEGIES))
@@ -213,6 +221,24 @@ def run_update(
             # Corruption caught while parsing, before any byte of the
             # image changed: safe to retransmit under every strategy.
             continue
+        except IntegrityError as exc:
+            if exc.kind in ("trailer", "segment") and \
+                    strategy != "in-place-stream":
+                # The delivered delta itself is corrupt.  The buffered
+                # strategies verify it before mutating anything, so a
+                # retransmission is safe (and the only cure).
+                outcome.faults.append(describe_failure(exc))
+                _sleep_backoff(attempt, backoff_base, backoff_factor)
+                continue
+            # A reference digest mismatch is deterministic — the device
+            # holds the wrong (or already corrupted) base image and no
+            # retransmission fixes that.  For the streaming strategy a
+            # trailer/segment failure surfaces mid-apply, after writes.
+            suffix = (" (image may be damaged)"
+                      if strategy == "in-place-stream" and
+                      exc.kind in ("trailer", "segment") else "")
+            outcome.failure = describe_failure(exc) + suffix
+            return outcome
         except (OutOfMemoryError, StorageBoundsError) as exc:
             # Deterministic device constraints: retrying cannot help.
             outcome.failure = "%s: %s" % (type(exc).__name__, exc)
@@ -255,6 +281,11 @@ class JournaledUpdateOutcome:
     journal_peak_bytes: int = 0
     succeeded: bool = False
     failure: str = ""
+    #: True when the session halted because corruption was *detected*
+    #: (bad trailer, reference mismatch, failed resume digest, failed
+    #: final checksum) — as opposed to transient faults or exhausted
+    #: budgets.  A corrupt halt means no garbage was silently installed.
+    corruption: bool = False
     faults: List[str] = field(default_factory=list)
 
 
@@ -299,6 +330,7 @@ def run_journaled_update(
 
     # -- transfer phase: retry link faults and corrupt deliveries -------
     script = None
+    header = None
     for attempt in range(1, max_retries + 1):
         outcome.attempts = attempt
         try:
@@ -312,13 +344,26 @@ def run_journaled_update(
             continue
         outcome.transfer_seconds += delivery.seconds
         received = delivery.payload
+        if fault_plan is not None:
+            spec = fault_plan.corruption("delta.truncate", package, attempt)
+            if spec is not None and len(received) > 1:
+                cut = spec.offset if spec.offset is not None else \
+                    fault_plan.draw_offset("delta.truncate", package,
+                                           attempt, len(received) - 1) + 1
+                cut = min(cut, len(received) - 1)
+                received = received[:cut]
+                outcome.faults.append(
+                    "TruncatedDelivery: delta cut to %d of %d bytes "
+                    "(attempt %d)" % (cut, outcome.payload_bytes, attempt)
+                )
         try:
             if is_sealed(received):
                 received = unseal(received)
-            script, _header = decode_delta(received)
+            script, header = decode_delta(received)
         except ReproError as exc:
-            # Corruption caught at parse time: nothing applied yet, so a
-            # retransmission is always safe.
+            # Corruption caught at parse time — for IPD2, the trailer
+            # CRC is checked before a single command is even parsed:
+            # nothing applied yet, so a retransmission is always safe.
             outcome.faults.append(describe_failure(exc))
             _sleep_backoff(attempt, backoff_base, backoff_factor)
             continue
@@ -332,18 +377,60 @@ def run_journaled_update(
     journal = Journal()
     for boot in range(1, max_boots + 1):
         outcome.boots = boot
+        if fault_plan is not None:
+            # Simulated flash rot: flips happen silently while the
+            # device is down; detection is the integrity plane's job.
+            spec = fault_plan.corruption("storage.bitflip", package, boot)
+            if spec is not None and len(storage):
+                offset = spec.offset if spec.offset is not None else \
+                    fault_plan.draw_offset("storage.bitflip", package,
+                                           boot, len(storage))
+                storage.flip(min(offset, len(storage) - 1))
+                outcome.faults.append(
+                    "BitFlip: storage bit flipped at offset %d (boot %d)"
+                    % (min(offset, len(storage) - 1), boot)
+                )
+        if boot > 1:
+            # Reboot: the journal is reread from its durable sector.
+            # Round-tripping through the serialized form exercises the
+            # record CRCs and torn-tail recovery on every resume.
+            try:
+                journal = Journal.from_bytes(journal.to_bytes())
+            except IntegrityError as exc:
+                outcome.corruption = True
+                outcome.failure = describe_failure(exc)
+                return outcome
+        try:
+            if boot == 1:
+                # Verify-then-mutate: bounds and the reference digest
+                # are checked against pristine storage before the first
+                # destructive write.  (Later boots resume mid-mutation;
+                # JournaledApplier re-verifies applied regions instead.)
+                preflight_in_place(script, header, storage)
+        except (IntegrityError, DeltaRangeError) as exc:
+            outcome.corruption = True
+            outcome.failure = describe_failure(exc)
+            return outcome
         fuel = (fault_plan.power_fuel(package, boot)
                 if fault_plan is not None else None)
         storage.fuel = fuel
         try:
             JournaledApplier(script, journal).run(storage,
-                                                 chunk_size=chunk_size)
+                                                  chunk_size=chunk_size)
         except PowerFailureError as exc:
             outcome.power_cuts += 1
             outcome.faults.append(describe_failure(exc))
             outcome.journal_peak_bytes = max(outcome.journal_peak_bytes,
                                              journal.size_bytes)
             continue  # reboot: the journal resumes the interrupted command
+        except IntegrityError as exc:
+            # Resume verification found rot in an already-applied
+            # region: halt with the report rather than install garbage.
+            outcome.corruption = True
+            outcome.failure = describe_failure(exc)
+            outcome.journal_peak_bytes = max(outcome.journal_peak_bytes,
+                                             journal.size_bytes)
+            return outcome
         break
     outcome.journal_peak_bytes = max(outcome.journal_peak_bytes,
                                      journal.size_bytes)
@@ -351,6 +438,18 @@ def run_journaled_update(
         outcome.failure = ("power failed on every one of %d boots"
                            % outcome.boots)
         return outcome
+    if header.has_checksum:
+        # The device-real final gate: the version checksum carried in
+        # the delta.  (Bit flips in not-yet-applied regions propagate
+        # into the image and are caught here if nowhere earlier.)
+        actual = storage_crc32(storage)
+        if actual != header.version_crc32:
+            outcome.corruption = True
+            outcome.failure = (
+                "reconstructed image checksum 0x%08x != delta's 0x%08x"
+                % (actual, header.version_crc32)
+            )
+            return outcome
     if storage.snapshot() != expected:
         outcome.failure = "reconstructed image differs from release %d" % want
         return outcome

@@ -78,6 +78,46 @@ class VerificationError(ReproError):
     """A reconstructed image failed its integrity check."""
 
 
+class IntegrityError(ReproError):
+    """A digest guarding a delta, reference, or journal did not match.
+
+    Raised *before* destructive work whenever possible (the preflight
+    gate) and with position info when corruption is caught mid-stream.
+    ``kind`` names the failed check so handlers can distinguish a
+    corrupt delivery (retransmittable) from a wrong reference image
+    (deterministic — retrying cannot help):
+
+    ``trailer``
+        The delta file's end-of-file CRC over the whole payload failed.
+    ``segment``
+        A rolling per-segment CRC failed mid-stream; ``offset`` is the
+        wire position of the failing checkpoint.
+    ``reference``
+        The target buffer does not match the digest the delta was built
+        against — applying would brick the image.
+    ``version``
+        The reconstructed image failed the version checksum.
+    ``journal``
+        A journal record's CRC failed somewhere other than the torn
+        tail (bit rot in the journal sector).
+    ``resume``
+        After a power cut, the already-applied regions of storage no
+        longer match the journal's cumulative digest.
+    """
+
+    def __init__(self, message: str, *, kind: str = "", offset: int = -1,
+                 expected: int = -1, actual: int = -1):
+        super().__init__(message)
+        #: Which check failed (see class docstring).
+        self.kind = kind
+        #: Byte position of the failure, when known (-1 otherwise).
+        self.offset = offset
+        #: Expected digest value, when known (-1 otherwise).
+        self.expected = expected
+        #: Observed digest value, when known (-1 otherwise).
+        self.actual = actual
+
+
 class InjectedFault(ReproError):
     """A deterministic fault raised by the fault-injection plane.
 

@@ -3,7 +3,8 @@
 See :mod:`repro.faults.plan` for the design.  The short version: a
 :class:`FaultPlan` schedules faults at named sites (``diff.worker``,
 ``convert.evict``, ``cache.lookup``, ``channel.transmit``,
-``device.power``) with nth-call/count/probability triggers, and every
+``device.power``, ``storage.bitflip``, ``delta.truncate``) with
+nth-call/count/probability triggers, and every
 decision is a pure function of ``(seed, site, scope, call index)`` so
 the same plan reproduces the same faults across runs, threads and
 worker processes.
@@ -12,6 +13,7 @@ worker processes.
 from .plan import (
     ERROR_KINDS,
     KNOWN_SITES,
+    MUTATION_KINDS,
     FaultPlan,
     FaultRecord,
     FaultSpec,
@@ -20,6 +22,7 @@ from .plan import (
 
 __all__ = [
     "ERROR_KINDS",
+    "MUTATION_KINDS",
     "FaultPlan",
     "FaultRecord",
     "FaultSpec",

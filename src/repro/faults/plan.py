@@ -35,6 +35,22 @@ Sites wired into the library:
     In :func:`~repro.device.updater.run_journaled_update`, where a
     firing spec's ``fuel`` bounds the bytes written before the
     simulated power cut.
+``storage.bitflip``
+    In :func:`~repro.device.updater.run_journaled_update`, once per
+    boot: a firing spec flips one storage bit at a deterministically
+    drawn (or spec-pinned) offset before the boot's apply resumes —
+    simulated flash rot the integrity plane must catch, not an
+    exception.
+``delta.truncate``
+    In :func:`~repro.device.updater.run_journaled_update`, once per
+    transmission attempt: a firing spec truncates the delivered delta
+    at a drawn (or pinned) offset, which the self-verifying ``IPD2``
+    trailer must detect at parse time.
+
+The last two are *mutation* sites: :meth:`FaultPlan.corruption` returns
+the firing spec (with a deterministic :meth:`FaultPlan.draw_offset`)
+instead of raising, and the caller corrupts its own state.  Detection —
+not avoidance — is what is under test.
 """
 
 from __future__ import annotations
@@ -60,6 +76,8 @@ KNOWN_SITES = (
     "convert.evict",
     "channel.transmit",
     "device.power",
+    "storage.bitflip",
+    "delta.truncate",
 )
 
 #: Error kinds a spec may raise, by name (kept picklable: classes are
@@ -71,6 +89,11 @@ ERROR_KINDS: Dict[str, Type[Exception]] = {
     "transmission": TransmissionError,
     "verify": VerificationError,
 }
+
+#: Kinds handled by mutating state rather than raising: ``power`` sets
+#: write fuel, ``bitflip``/``truncate`` corrupt storage or a payload in
+#: flight (see :meth:`FaultPlan.corruption`).
+MUTATION_KINDS = ("power", "bitflip", "truncate")
 
 
 @dataclass(frozen=True)
@@ -96,19 +119,26 @@ class FaultSpec:
     #: For ``device.power`` specs: bytes the storage may still write in
     #: the boot this spec fires on (``None`` = no power cut).
     fuel: Optional[int] = None
+    #: For mutation specs (``bitflip``/``truncate``): the byte offset to
+    #: corrupt at.  ``None`` draws one deterministically from
+    #: ``(seed, site, scope, index)`` via :meth:`FaultPlan.draw_offset`.
+    offset: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.site:
             raise ValueError("a fault spec needs a site name")
-        if self.error not in ERROR_KINDS and self.error != "power":
+        if self.error not in ERROR_KINDS and self.error not in MUTATION_KINDS:
             raise ValueError(
                 "unknown error kind %r; choose from %s"
-                % (self.error, ", ".join(sorted(ERROR_KINDS) + ["power"]))
+                % (self.error,
+                   ", ".join(sorted(ERROR_KINDS) + sorted(MUTATION_KINDS)))
             )
         if not (0.0 <= self.probability <= 1.0):
             raise ValueError("probability must be in [0, 1]")
         if self.nth < 0 or self.count < 0:
             raise ValueError("nth and count must be non-negative")
+        if self.offset is not None and self.offset < 0:
+            raise ValueError("offset must be non-negative")
         if not (self.nth or self.count or self.probability):
             raise ValueError(
                 "spec for %r never fires: set nth, count or probability"
@@ -222,6 +252,35 @@ class FaultPlan:
             raise spec.build_error(scope, index)
         return index
 
+    def corruption(self, site: str, scope: str, index: int) -> Optional[FaultSpec]:
+        """Firing mutation spec at a corruption site, recorded, else ``None``.
+
+        Unlike :meth:`check` this never raises: mutation sites
+        (``storage.bitflip``, ``delta.truncate``) model silent
+        corruption, so the caller applies the damage itself — typically
+        at the spec's ``offset``, or one drawn via :meth:`draw_offset`
+        — and the system under test must *detect* it.
+        """
+        spec = self.firing_spec(site, scope, index)
+        if spec is None:
+            return None
+        with self._lock:
+            self.records.append(FaultRecord(site, scope, index, spec.error))
+        return spec
+
+    def draw_offset(self, site: str, scope: str, index: int, size: int) -> int:
+        """Deterministic corruption offset in ``[0, size)``.
+
+        A pure function of ``(seed, site, scope, index)`` — the same
+        plan corrupts the same byte in every run and every executor,
+        which is what makes corruption tests replayable.
+        """
+        if size <= 0:
+            return 0
+        return random.Random(
+            "%d|%s|%s|%d|offset" % (self.seed, site, scope, index)
+        ).randrange(size)
+
     def power_fuel(self, scope: str, boot: int) -> Optional[int]:
         """Write budget for boot ``boot`` of a ``device.power`` schedule.
 
@@ -301,7 +360,7 @@ class FaultPlan:
                 key, _, value = part.partition("=")
                 key = key.strip()
                 value = value.strip()
-                if key in ("nth", "count", "fuel"):
+                if key in ("nth", "count", "fuel", "offset"):
                     kwargs[key] = int(value)
                 elif key in ("p", "probability"):
                     kwargs["probability"] = float(value)
@@ -317,6 +376,10 @@ class FaultPlan:
                 kwargs["error"] = "power"
             if site == "channel.transmit" and "error" not in kwargs:
                 kwargs["error"] = "transmission"
+            if site == "storage.bitflip" and "error" not in kwargs:
+                kwargs["error"] = "bitflip"
+            if site == "delta.truncate" and "error" not in kwargs:
+                kwargs["error"] = "truncate"
             try:
                 specs.append(FaultSpec(site=site, **kwargs))
             except (TypeError, ValueError) as exc:
@@ -338,6 +401,7 @@ def describe_failure(exc: BaseException) -> str:
 
 __all__ = [
     "ERROR_KINDS",
+    "MUTATION_KINDS",
     "FaultPlan",
     "FaultRecord",
     "FaultSpec",

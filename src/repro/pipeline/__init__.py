@@ -26,6 +26,7 @@ from .executor import (
     PipelineJob,
     PipelineReport,
     PipelineResult,
+    classify_failure,
 )
 
 __all__ = [
@@ -42,4 +43,5 @@ __all__ = [
     "PipelineResult",
     "RAW_REWRITE",
     "ReferenceIndexCache",
+    "classify_failure",
 ]

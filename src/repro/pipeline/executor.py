@@ -53,9 +53,16 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..core.apply import verify_reference
 from ..core.commands import AddCommand, DeltaScript
 from ..core.convert import ConversionReport, make_in_place
-from ..delta import ALGORITHMS, FORMAT_INPLACE, encode_delta, version_checksum
+from ..delta import (
+    ALGORITHMS,
+    FORMAT_INPLACE,
+    decode_delta,
+    encode_delta,
+    version_checksum,
+)
 from ..delta.varint import varint_size
 from ..exceptions import ReproError
 from ..faults import FaultPlan, describe_failure
@@ -70,6 +77,27 @@ EXECUTORS = ("serial", "thread", "process")
 #: differencing and no reference, so it cannot fail at ``diff.worker``
 #: — the guaranteed-progress floor of the chain.
 RAW_REWRITE = "raw"
+
+#: Failure types (the ``"Type: message"`` prefix produced by
+#: :func:`~repro.faults.describe_failure`) that indicate bad *data*
+#: rather than bad *luck*: retrying the same inputs deterministically
+#: fails again, so a quarantine caused by one of these is classified
+#: ``"corruption"`` rather than ``"transient"``.
+_CORRUPTION_FAILURES = frozenset({
+    "IntegrityError",
+    "VerificationError",
+    "DeltaFormatError",
+    "DeltaRangeError",
+    "WriteBeforeReadError",
+})
+
+
+def classify_failure(failure: str) -> str:
+    """Classify a rendered failure string as corruption or transient."""
+    if not failure:
+        return ""
+    kind = failure.split(":", 1)[0]
+    return "corruption" if kind in _CORRUPTION_FAILURES else "transient"
 
 
 @dataclass(frozen=True)
@@ -115,6 +143,17 @@ class PipelineReport:
     #: empty and ``failure`` holds the last error.
     quarantined: bool = False
     failure: str = ""
+    #: Post-encode self-check outcome: ``"verified"`` when the emitted
+    #: payload decoded cleanly (trailer + segment CRCs) and its
+    #: reference digest matched the job's reference, ``""`` when
+    #: verification was disabled or the job never produced a payload.
+    integrity: str = ""
+    #: Why a quarantined job was quarantined: ``"corruption"`` when the
+    #: final failure was an integrity/format/verification error (the
+    #: data is bad — retrying elsewhere won't help), ``"transient"``
+    #: otherwise (injected fault, timeout, worker crash).  Empty for
+    #: jobs that were not quarantined.
+    quarantine_reason: str = ""
     #: Timing-free event log (attempts, faults, fallbacks, outcome):
     #: byte-identical across runs and executors for a fixed fault seed.
     trace: List[str] = field(default_factory=list)
@@ -195,6 +234,18 @@ class BatchReport:
     def fault_events(self) -> int:
         """Total failures hit across the batch (injected or organic)."""
         return sum(len(r.report.faults) for r in self.results)
+
+    @property
+    def corrupted(self) -> List[str]:
+        """Names of jobs quarantined for corruption, not transient faults."""
+        return [r.report.name for r in self.results
+                if r.report.quarantine_reason == "corruption"]
+
+    @property
+    def verified(self) -> int:
+        """Jobs whose emitted payload passed the post-encode self-check."""
+        return sum(1 for r in self.results
+                   if r.report.integrity == "verified")
 
     @property
     def trace(self) -> List[str]:
@@ -318,6 +369,14 @@ class DeltaPipeline:
     * ``fault_plan`` — a :class:`~repro.faults.FaultPlan` checked at the
       ``diff.worker``, ``cache.lookup`` and ``convert.evict`` sites.
 
+    ``verify_outputs`` (default True) decodes every emitted payload —
+    re-checking the ``IPD2`` trailer, segment CRCs and reference digest
+    — before handing it out, recording ``report.integrity ==
+    "verified"``; a mismatch fails the attempt into the retry
+    machinery.  Quarantined jobs carry ``report.quarantine_reason``
+    (``"corruption"`` vs ``"transient"``) so operators can tell bad
+    data from bad luck.
+
     Whatever happens, :meth:`run` returns one result per job: failures
     are quarantined into structured results, never raised.
     """
@@ -345,6 +404,7 @@ class DeltaPipeline:
         backoff_max: float = 1.0,
         backoff_seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
+        verify_outputs: bool = True,
     ):
         if algorithm not in ALGORITHMS:
             raise ValueError(
@@ -390,6 +450,7 @@ class DeltaPipeline:
         self.backoff_max = backoff_max
         self._backoff_rng = random.Random(backoff_seed)
         self.fault_plan = fault_plan
+        self.verify_outputs = verify_outputs
         self._diff_pool: Optional[Executor] = None
         self._convert_pool: Optional[ThreadPoolExecutor] = None
 
@@ -473,8 +534,19 @@ class DeltaPipeline:
             converted.script,
             FORMAT_INPLACE,
             version_crc32=version_checksum(job.version),
+            reference=job.reference,
         )
         encode_seconds = time.perf_counter() - t0
+        integrity = ""
+        if self.verify_outputs:
+            # Decode the bytes we are about to hand out: this re-checks
+            # the trailer and every segment CRC, then the reference
+            # digest against the job's own reference.  Any mismatch
+            # raises into the retry machinery instead of shipping a
+            # payload that would brick an in-place device.
+            _script, header = decode_delta(payload)
+            verify_reference(header, job.reference)
+            integrity = "verified"
         report = PipelineReport(
             name=job.name,
             algorithm=self.algorithm,
@@ -489,6 +561,7 @@ class DeltaPipeline:
             version_bytes=len(job.version),
             delta_bytes=len(payload),
             conversion=converted.report,
+            integrity=integrity,
         )
         return PipelineResult(payload=payload, script=converted.script,
                               report=report)
@@ -612,8 +685,9 @@ class DeltaPipeline:
                 report.fallback = algo if link_no else ""
                 report.trace = trace
                 return result
-        trace.append("%s: quarantined after %d attempts: %s"
-                     % (job.name, attempts, last_failure))
+        reason = classify_failure(last_failure) or "transient"
+        trace.append("%s: quarantined (%s) after %d attempts: %s"
+                     % (job.name, reason, attempts, last_failure))
         report = PipelineReport(
             name=job.name,
             algorithm=self.algorithm,
@@ -624,6 +698,7 @@ class DeltaPipeline:
             faults=faults,
             quarantined=True,
             failure=last_failure,
+            quarantine_reason=reason,
             trace=trace,
         )
         return PipelineResult(payload=b"", script=DeltaScript(), report=report)

@@ -207,8 +207,9 @@ class TestJournalFootprint:
         journal = Journal()
         JournaledApplier(result.script, journal).run(storage)
         # No scratch, and overlaps are cleared after each command: the
-        # journal ends at its 16-byte fixed footprint.
-        assert journal.size_bytes == 16
+        # journal ends at its fixed footprint (progress counter, applied
+        # digest, flags and record framing).
+        assert journal.size_bytes == 24
 
     def test_journal_bounded_by_scratch_plus_overlap(self, rng):
         ref = rng.randbytes(3_000)
@@ -217,4 +218,4 @@ class TestJournalFootprint:
         result = repro.make_in_place(base, ref, scratch_budget=1 << 14)
         journal = Journal()
         JournaledApplier(result.script, journal).run(CrashingStorage(ref))
-        assert journal.size_bytes <= 16 + result.script.scratch_length
+        assert journal.size_bytes <= 24 + result.script.scratch_length
