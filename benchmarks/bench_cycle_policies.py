@@ -19,11 +19,10 @@ inputs built from long block rotations (the "many long cycles" case).
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from conftest import write_report
+from harness import best_of
 from repro.analysis.adversarial import rotation_medley
 from repro.analysis.tables import render_kv, render_table
 from repro.core.convert import make_in_place
@@ -31,12 +30,9 @@ from repro.delta import correcting_delta
 
 
 def _time_policy(script, reference, policy, repeat=3):
-    best = float("inf")
-    for _ in range(repeat):
-        t0 = time.perf_counter()
-        make_in_place(script, reference, policy=policy)
-        best = min(best, time.perf_counter() - t0)
-    return best
+    seconds, _ = best_of(
+        lambda: make_in_place(script, reference, policy=policy), repeat)
+    return seconds
 
 
 def test_policy_runtime_on_corpus(benchmark, corpus):
@@ -63,6 +59,11 @@ def test_policy_runtime_on_corpus(benchmark, corpus):
                 ("local-min / constant", "%.2f" % ratio),
             ],
         ),
+        data={
+            "constant_seconds": const_total,
+            "local_min_seconds": local_total,
+            "ratio": ratio,
+        },
     )
     # "No apparent impact": allow generous slack for interpreter noise.
     assert ratio < 1.6
@@ -90,6 +91,11 @@ def test_policy_runtime_on_cycle_heavy_inputs(benchmark):
                 ("local-min / constant", "%.2f" % (tl / tc)),
             ],
         ),
+        data={
+            "constant_seconds": tc,
+            "local_min_seconds": tl,
+            "ratio": tl / tc,
+        },
     )
     # Local-min walks every cycle, so it may be slower — but the work is
     # bounded by total cycle length, not quadratic.
@@ -117,6 +123,11 @@ def test_policy_compression_recovery(benchmark, corpus_measurements):
                 ("fraction recovered", "%.2f" % recovered),
             ],
         ),
+        data={
+            "constant_cost_bytes": cost_c,
+            "local_min_cost_bytes": cost_l,
+            "fraction_recovered": recovered,
+        },
     )
     assert cost_l <= cost_c
     assert recovered > 0.5

@@ -16,11 +16,10 @@ conversion cost downstream.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from conftest import write_report
+from harness import elapsed
 from repro.analysis.tables import render_table
 from repro.core.convert import make_in_place
 from repro.delta import ALGORITHMS, FORMAT_SEQUENTIAL, encoded_size
@@ -42,28 +41,29 @@ def test_differencing_tradeoff(benchmark, corpus):
             engine = ALGORITHMS[name]
             kwargs = ENGINE_KWARGS.get(name, {})
             total_v = total_delta = total_cmds = evict_cost = 0
-            elapsed = 0.0
+            diff_seconds = 0.0
             for pair in pairs:
-                t0 = time.perf_counter()
-                script = engine(pair.reference, pair.version, **kwargs)
-                elapsed += time.perf_counter() - t0
+                seconds, script = elapsed(
+                    lambda: engine(pair.reference, pair.version, **kwargs))
+                diff_seconds += seconds
                 total_v += len(pair.version)
                 total_delta += encoded_size(script, FORMAT_SEQUENTIAL)
                 total_cmds += len(script.commands)
                 result = make_in_place(script, pair.reference)
                 evict_cost += result.report.eviction_cost
-            rows[name] = (total_delta, total_v, total_cmds, elapsed, evict_cost)
+            rows[name] = (total_delta, total_v, total_cmds, diff_seconds,
+                          evict_cost)
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     table = [["engine", "compression", "commands", "diff time", "eviction cost"]]
     for name in ENGINES:
-        total_delta, total_v, cmds, elapsed, evict = rows[name]
+        total_delta, total_v, cmds, diff_seconds, evict = rows[name]
         table.append([
             name,
             "%.1f%%" % (100.0 * total_delta / total_v),
             str(cmds),
-            "%.2f s" % elapsed,
+            "%.2f s" % diff_seconds,
             "%d B" % evict,
         ])
     write_report(
@@ -73,6 +73,19 @@ def test_differencing_tradeoff(benchmark, corpus):
         "methods\n(%d source/binary pairs; tichy uses min_match=16 for a\n"
         "like-for-like size comparison)\n\n%s"
         % (len(pairs), render_table(table)),
+        data={
+            "pairs": len(pairs),
+            "engines": {
+                name: {
+                    "delta_bytes": rows[name][0],
+                    "version_bytes": rows[name][1],
+                    "commands": rows[name][2],
+                    "diff_seconds": rows[name][3],
+                    "eviction_cost_bytes": rows[name][4],
+                }
+                for name in ENGINES
+            },
+        },
     )
 
     compression = {n: rows[n][0] / rows[n][1] for n in ENGINES}

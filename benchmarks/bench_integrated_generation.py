@@ -18,11 +18,10 @@ unremarkable enough to state without measurement.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from conftest import write_report
+from harness import elapsed
 from repro.analysis.tables import render_kv
 from repro.core.convert import make_in_place
 from repro.core.integrated import diff_in_place_integrated
@@ -35,14 +34,14 @@ def test_integrated_equals_postprocessed(benchmark, corpus):
         identical = 0
         pairs = list(corpus.pairs())
         for pair in pairs:
-            t0 = time.perf_counter()
-            script = correcting_delta(pair.reference, pair.version)
-            post = make_in_place(script, pair.reference)
-            post_seconds += time.perf_counter() - t0
+            seconds, post = elapsed(lambda: make_in_place(
+                correcting_delta(pair.reference, pair.version),
+                pair.reference))
+            post_seconds += seconds
 
-            t0 = time.perf_counter()
-            integrated = diff_in_place_integrated(pair.reference, pair.version)
-            integrated_seconds += time.perf_counter() - t0
+            seconds, integrated = elapsed(lambda: diff_in_place_integrated(
+                pair.reference, pair.version))
+            integrated_seconds += seconds
 
             if encode_delta(post.script, FORMAT_INPLACE) == \
                     encode_delta(integrated.script, FORMAT_INPLACE):
@@ -64,6 +63,13 @@ def test_integrated_equals_postprocessed(benchmark, corpus):
                 ("integrated / post-processing", "%.2f" % (integrated_s / post_s)),
             ],
         ),
+        data={
+            "pairs": pairs,
+            "identical": identical,
+            "post_processing_seconds": post_s,
+            "integrated_seconds": integrated_s,
+            "ratio": integrated_s / post_s,
+        },
     )
     assert identical == pairs, "the two pipelines must agree byte for byte"
     assert integrated_s <= post_s * 1.15  # never meaningfully slower

@@ -16,11 +16,10 @@ stage are visible in the timing table.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from conftest import write_report
+from harness import best_of
 from repro.analysis.tables import render_kv
 from repro.analysis.timing import ratio_stats, weighted_time_ratio
 from repro.core.convert import make_in_place
@@ -32,17 +31,10 @@ def stage_times(corpus):
     """(diff_seconds, convert_seconds, name) per pair, best-of-2 each."""
     rows = []
     for pair in corpus.pairs():
-        best_diff = float("inf")
-        script = None
-        for _ in range(2):
-            t0 = time.perf_counter()
-            script = correcting_delta(pair.reference, pair.version)
-            best_diff = min(best_diff, time.perf_counter() - t0)
-        best_conv = float("inf")
-        for _ in range(2):
-            t0 = time.perf_counter()
-            make_in_place(script, pair.reference, policy="local-min")
-            best_conv = min(best_conv, time.perf_counter() - t0)
+        best_diff, script = best_of(
+            lambda: correcting_delta(pair.reference, pair.version), 2)
+        best_conv, _ = best_of(
+            lambda: make_in_place(script, pair.reference, policy="local-min"), 2)
         rows.append((best_diff, best_conv, pair.name))
     return rows
 
@@ -73,6 +65,19 @@ def test_runtime_ratio_report(benchmark, stage_times):
                 ("inputs", stats.count),
             ],
         ),
+        data={
+            "total_ratio": total_ratio,
+            "mean_ratio": stats.mean,
+            "median_ratio": stats.median,
+            "fraction_over_one": stats.fraction_over_one,
+            "max_ratio": stats.maximum,
+            "slowest_input": slowest[2],
+            "inputs": stats.count,
+            "pairs": [
+                {"name": name, "diff_seconds": d, "convert_seconds": c}
+                for d, c, name in stage_times
+            ],
+        },
     )
     # Shape: conversion is cheaper than compression in total, and no
     # input takes more than ~2x (allow slack for interpreter noise).

@@ -13,16 +13,15 @@ runtime, policy, and compression-factor benches.
 
 from __future__ import annotations
 
-import time
-from pathlib import Path
-from typing import List
+from typing import List, Optional
 
 import pytest
 
+import harness
 from repro.analysis.metrics import PairMeasurement, measure_pair
 from repro.workloads import Corpus
 
-RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_DIR = harness.RESULTS_DIR
 
 #: Corpus scale for the benches: large enough to be statistically
 #: meaningful, small enough that the whole suite runs in minutes.
@@ -52,11 +51,10 @@ def corpus_measurements(corpus) -> List[PairMeasurement]:
     ]
 
 
-def write_report(name: str, text: str) -> None:
-    """Print a bench report and persist it under benchmarks/results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
-    body = "# %s — generated %s\n%s\n" % (name, stamp, text)
-    (RESULTS_DIR / ("%s.txt" % name)).write_text(body)
-    print()
-    print(body)
+def write_report(name: str, text: str, data: Optional[dict] = None) -> None:
+    """Print a bench report and persist it under benchmarks/results/.
+
+    Delegates to :func:`harness.write_report`; ``data`` additionally
+    emits a ``results/BENCH_<name>.json`` artifact.
+    """
+    harness.write_report(name, text, data)

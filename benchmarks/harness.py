@@ -1,0 +1,67 @@
+"""Shared timing and report plumbing for the benchmark suite.
+
+The benches used to open-code ``time.perf_counter()`` deltas and
+best-of-N loops; :func:`elapsed` and :func:`best_of` replace those.
+:func:`write_report` keeps the human-readable ``results/<name>.txt``
+behaviour and adds a machine-readable twin: pass ``data=`` and the raw
+measurements are also written to ``results/BENCH_<name>.json`` under
+schema ``repro.bench.report/1``.
+
+These report artifacts are free-form experiment records for
+EXPERIMENTS.md and ad-hoc diffing; the fixed-suite artifacts consumed
+by ``repro.perf.compare`` come from ``ipdelta bench`` instead (schema
+``repro.perf.bench/1``, see ``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Optional, Tuple
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+REPORT_SCHEMA = "repro.bench.report/1"
+
+
+def elapsed(fn: Callable[[], object]) -> Tuple[float, object]:
+    """Run ``fn`` once; return ``(wall_seconds, result)``."""
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def best_of(fn: Callable[[], object], repeats: int = 2) -> Tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return the best wall time and the
+    last result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        seconds, result = elapsed(fn)
+        best = min(best, seconds)
+    return best, result
+
+
+def write_report(name: str, text: str, data: Optional[dict] = None) -> None:
+    """Print a bench report and persist it under ``benchmarks/results/``.
+
+    ``data``, when given, must be JSON-serializable; it is written to
+    ``results/BENCH_<name>.json`` wrapped in a small envelope so tools
+    can identify and date the artifact.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    body = "# %s — generated %s\n%s\n" % (name, stamp, text)
+    (RESULTS_DIR / ("%s.txt" % name)).write_text(body)
+    if data is not None:
+        envelope = {
+            "schema": REPORT_SCHEMA,
+            "name": name,
+            "generated": stamp,
+            "data": data,
+        }
+        (RESULTS_DIR / ("BENCH_%s.json" % name)).write_text(
+            json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+    print()
+    print(body)

@@ -432,6 +432,36 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.bench import run_bench
+    from .perf.compare import (
+        compare_artifacts,
+        load_artifacts,
+        parse_min_speedup,
+        render,
+    )
+
+    written = run_bench(
+        args.output_dir,
+        quick=args.quick,
+        fast=not args.no_fast,
+        repeats=args.repeat,
+        ops=args.ops or None,
+    )
+    print("wrote %d artifacts to %s" % (len(written), args.output_dir))
+    if args.compare:
+        results = compare_artifacts(
+            load_artifacts(args.compare),
+            load_artifacts(args.output_dir),
+            threshold=args.threshold,
+            min_speedup=parse_min_speedup(args.min_speedup),
+        )
+        print(render(results))
+        if any(not r.ok for r in results):
+            return 1
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import generate_report
 
@@ -575,6 +605,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backoff", type=float, default=0.0, metavar="SECONDS",
                    help="base of the exponential retry backoff (default 0)")
     p.set_defaults(func=_cmd_pipeline)
+
+    p = sub.add_parser("bench", help="run the performance suite and write "
+                       "BENCH_*.json artifacts")
+    p.add_argument("--output-dir", default="bench_artifacts",
+                   help="directory for BENCH_*.json artifacts "
+                        "(default %(default)s)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke subset: fewer ops, one repeat")
+    p.add_argument("--no-fast", action="store_true",
+                   help="pin the scalar reference paths (the "
+                        "pre-optimization oracle baseline)")
+    p.add_argument("--repeat", type=int, default=None,
+                   help="timing repeats per op (default: 3, or 1 with "
+                        "--quick)")
+    p.add_argument("--ops", action="append", default=[], metavar="SUBSTRING",
+                   help="only run ops whose artifact name contains "
+                        "SUBSTRING (repeatable)")
+    p.add_argument("--compare", metavar="BASELINE_DIR", default=None,
+                   help="after running, gate against this artifact "
+                        "directory (exit 1 on regression)")
+    p.add_argument("--threshold", type=float, default=0.15,
+                   help="tolerated throughput loss for --compare "
+                        "(default %(default)s)")
+    p.add_argument("--min-speedup", action="append", default=[],
+                   metavar="NAME=FACTOR",
+                   help="with --compare, require NAME to be FACTOR x the "
+                        "baseline (repeatable)")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("report", help="regenerate the paper's evaluation")
     p.add_argument("--scale", type=float, default=0.3)

@@ -25,8 +25,10 @@ command instead; the tests and benches use both modes.
 from __future__ import annotations
 
 import zlib
+from time import perf_counter
 from typing import Optional, Union
 
+from .. import perf
 from ..exceptions import DeltaRangeError, IntegrityError, WriteBeforeReadError
 from .commands import AddCommand, CopyCommand, DeltaScript, FillCommand, SpillCommand
 from .intervals import DynamicIntervalSet
@@ -50,8 +52,13 @@ def storage_crc32(storage, length: Optional[int] = None,
     while pos < length:
         step = min(chunk, length - pos)
         piece = storage[pos:pos + step]
-        crc = zlib.crc32(bytes(piece), crc)
+        if not isinstance(piece, (bytes, bytearray, memoryview)):
+            # Exotic storage (e.g. a list-backed flash model) may yield
+            # non-buffer slices; everything else feeds crc32 directly.
+            piece = bytes(piece)
+        crc = zlib.crc32(piece, crc)
         pos += step
+    perf.add("apply.crc_bytes", length)
     return crc & 0xFFFFFFFF
 
 
@@ -153,6 +160,8 @@ def apply_delta(script: DeltaScript, reference: Buffer) -> bytes:
     Spill/fill commands are honoured so scratch-using in-place scripts
     also apply two-space (useful for verification on the server side).
     """
+    recorder = perf.active()
+    started = perf_counter() if recorder is not None else 0.0
     ref = memoryview(reference) if not isinstance(reference, memoryview) else reference
     out = bytearray(script.version_length)
     scratch = bytearray(script.scratch_length)
@@ -178,6 +187,13 @@ def apply_delta(script: DeltaScript, reference: Buffer) -> bytes:
         else:  # FillCommand
             out[cmd.dst:cmd.dst + cmd.length] = \
                 scratch[cmd.scratch:cmd.scratch + cmd.length]
+    if recorder is not None:
+        recorder.merge({
+            "apply.two_space.calls": 1,
+            "apply.two_space.seconds": perf_counter() - started,
+            "apply.two_space.commands": len(script.commands),
+            "apply.two_space.bytes": script.version_length,
+        })
     return bytes(out)
 
 
@@ -228,6 +244,8 @@ def apply_in_place(
     """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive, got %d" % chunk_size)
+    recorder = perf.active()
+    started = perf_counter() if recorder is not None else 0.0
     original_length = len(buffer)
     needed = max(script.version_length, original_length)
     if needed > len(buffer):
@@ -290,6 +308,13 @@ def apply_in_place(
                 written.add(cmd.write_interval)
 
     del buffer[script.version_length:]
+    if recorder is not None:
+        recorder.merge({
+            "apply.in_place.calls": 1,
+            "apply.in_place.seconds": perf_counter() - started,
+            "apply.in_place.commands": len(script.commands),
+            "apply.in_place.bytes": script.version_length,
+        })
     return buffer
 
 

@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
+from .. import perf
 from ..exceptions import ReproError
 from .commands import (
     AddCommand,
@@ -262,6 +263,17 @@ def assemble_in_place(
     commands.extend(sorted(fills + adds + converted, key=lambda a: a.dst))
     out = DeltaScript(commands, version_length)
     report.seconds = time.perf_counter() - started
+    recorder = perf.active()
+    if recorder is not None:
+        recorder.merge({
+            "convert.calls": 1,
+            "convert.seconds": report.seconds,
+            "convert.copies_in": report.copies_in,
+            "convert.edges": report.crwi_edges,
+            "convert.evictions": report.evicted_count,
+            "convert.eviction_bytes": report.evicted_bytes,
+            "convert.cycles_found": report.cycles_found,
+        })
     return InPlaceResult(out, report)
 
 

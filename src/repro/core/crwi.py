@@ -56,6 +56,21 @@ class CRWIDigraph:
     successors: List[List[int]] = field(default_factory=list)
     predecessors: List[List[int]] = field(default_factory=list)
 
+    # Lazily derived views of the adjacency lists.  The eviction solvers
+    # and analysis reports call has_edge/edge_count inside loops over
+    # candidate vertex sets, so membership must not rescan successor
+    # lists.  Anything that mutates successors/predecessors after
+    # construction must call invalidate_caches().
+    _succ_sets: Optional[List[set]] = field(
+        default=None, init=False, repr=False, compare=False)
+    _edge_count: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False)
+
+    def invalidate_caches(self) -> None:
+        """Drop derived edge caches after a direct adjacency mutation."""
+        self._succ_sets = None
+        self._edge_count = None
+
     @property
     def vertex_count(self) -> int:
         """Number of vertices (= number of copy commands)."""
@@ -63,8 +78,10 @@ class CRWIDigraph:
 
     @property
     def edge_count(self) -> int:
-        """Number of directed conflict edges."""
-        return sum(len(adj) for adj in self.successors)
+        """Number of directed conflict edges (cached after first use)."""
+        if self._edge_count is None:
+            self._edge_count = sum(len(adj) for adj in self.successors)
+        return self._edge_count
 
     def cost(self, vertex: int, offset_encoding_size: OffsetPricing = 4) -> int:
         """Compression lost by evicting ``vertex`` (converting copy to add).
@@ -87,8 +104,14 @@ class CRWIDigraph:
         return [self.cost(v, offset_encoding_size) for v in range(self.vertex_count)]
 
     def has_edge(self, u: int, v: int) -> bool:
-        """True when the conflict edge ``u -> v`` exists."""
-        return v in self.successors[u]
+        """True when the conflict edge ``u -> v`` exists.
+
+        O(1) via a successor-set view built on first use (the adjacency
+        lists stay the canonical representation).
+        """
+        if self._succ_sets is None:
+            self._succ_sets = [set(adj) for adj in self.successors]
+        return v in self._succ_sets[u]
 
     def edges(self) -> Iterable[Tuple[int, int]]:
         """Iterate all directed edges as ``(u, v)`` pairs."""
@@ -115,6 +138,7 @@ class CRWIDigraph:
                 if succ in renumber:
                     sub.successors[renumber[old]].append(renumber[succ])
                     sub.predecessors[renumber[succ]].append(renumber[old])
+        sub.invalidate_caches()
         return sub
 
     def is_acyclic(self) -> bool:
@@ -156,6 +180,7 @@ def build_crwi_digraph(script: DeltaScript) -> CRWIDigraph:
             if j != i:
                 graph.successors[i].append(j)
                 graph.predecessors[j].append(i)
+    graph.invalidate_caches()
     return graph
 
 

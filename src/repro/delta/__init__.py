@@ -31,11 +31,16 @@ from .rolling import (
     FullSeedIndex,
     RollingHash,
     SeedTable,
+    fast_paths_enabled,
     hash_seed,
     iter_seed_hashes,
     match_length,
     match_length_backward,
+    match_length_backward_reference,
+    match_length_reference,
     seed_fingerprints,
+    seed_fingerprints_reference,
+    use_fast_paths,
 )
 from .varint import decode_varint, encode_varint, varint_size
 
@@ -79,12 +84,17 @@ __all__ = [
     "encode_varint",
     "encoded_size",
     "greedy_delta",
+    "fast_paths_enabled",
     "hash_seed",
     "iter_seed_hashes",
     "match_length",
     "match_length_backward",
+    "match_length_backward_reference",
+    "match_length_reference",
     "onepass_delta",
     "seed_fingerprints",
+    "seed_fingerprints_reference",
+    "use_fast_paths",
     "is_sealed",
     "seal",
     "tichy_delta",

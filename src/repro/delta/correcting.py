@@ -15,21 +15,28 @@ published form is a *one-and-a-half-pass* scheme:
 Backward correction is what distinguishes this algorithm: a seed match in
 the middle of a long common string still recovers the whole string, so
 compression approaches greedy quality while memory stays constant.
+
+Both passes ride the fast paths when available: the half pass is a bulk
+FCFS construction (:meth:`SeedTable.from_fingerprints`), and the full
+pass consumes a precomputed version-fingerprint list so its loop does
+only list indexing, slot probes, and slice-compare extension.  Output
+scripts are bit-identical to the scalar rolling scan.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Union
 
+from .. import perf
 from ..core.commands import DeltaScript
 from .builder import ScriptBuilder
 from .rolling import (
     DEFAULT_SEED_LENGTH,
-    RollingHash,
     SeedTable,
-    iter_seed_hashes,
     match_length,
     match_length_backward,
+    seed_fingerprints,
 )
 
 Buffer = Union[bytes, bytearray, memoryview]
@@ -57,29 +64,41 @@ def correcting_delta(
     """
     if seed_length <= 0:
         raise ValueError("seed_length must be positive, got %d" % seed_length)
+    recorder = perf.active()
+    started = perf_counter() if recorder is not None else 0.0
     builder = ScriptBuilder(version)
     len_r, len_v = len(reference), len(version)
-    if len_v == 0:
-        return builder.finish()
-    if len_r < seed_length or len_v < seed_length:
-        return builder.finish()
+    if len_v == 0 or len_r < seed_length or len_v < seed_length:
+        script = builder.finish()
+        if recorder is not None:
+            _report(recorder, started, reference, version, 0, 0, 0)
+        return script
 
     if cache is not None:
         table = cache.seed_table(reference, seed_length=seed_length,
                                  table_size=table_size)
     else:
         # Half pass: fingerprint every reference seed into the FCFS table.
-        table = SeedTable(table_size)
-        for offset, fingerprint in iter_seed_hashes(reference, seed_length):
-            table.insert(fingerprint, offset)
+        with perf.timer("table.seed.build"):
+            table = SeedTable.from_fingerprints(
+                seed_fingerprints(reference, seed_length), table_size
+            )
 
     # Full pass: scan the version, correcting backwards on each match.
-    roller = RollingHash(seed_length)
+    # The table is read-only here (it may be a cache-shared instance);
+    # its slot list is bound locally for probe speed.
+    fps_v = seed_fingerprints(version, seed_length)
+    slots = table._slots
+    size = table.size
+    emit_copy = builder.emit_copy
     pos = 0
-    fingerprint = roller.reset(version, 0)
-    while pos + seed_length <= len_v:
-        cand = table.lookup(fingerprint)
-        if cand is not None and \
+    last_v = len_v - seed_length
+    copies = 0
+    copy_bytes = 0
+    corrected_bytes = 0
+    while pos <= last_v:
+        cand = slots[fps_v[pos] % size]
+        if cand >= 0 and \
                 reference[cand:cand + seed_length] == version[pos:pos + seed_length]:
             forward = seed_length + match_length(
                 reference, cand + seed_length, version, pos + seed_length
@@ -90,12 +109,28 @@ def correcting_delta(
                 reference, cand, version, pos,
                 limit=min(cand, pos - builder.add_start),
             )
-            builder.emit_copy(cand - back, pos - back, back + forward)
+            emit_copy(cand - back, pos - back, back + forward)
+            copies += 1
+            copy_bytes += back + forward
+            corrected_bytes += back
             pos += forward
-            if pos + seed_length <= len_v:
-                fingerprint = roller.reset(version, pos)
             continue
-        if pos + seed_length < len_v:
-            fingerprint = roller.update(version[pos], version[pos + seed_length])
         pos += 1
-    return builder.finish()
+    script = builder.finish()
+    if recorder is not None:
+        _report(recorder, started, reference, version,
+                copies, copy_bytes, corrected_bytes)
+    return script
+
+
+def _report(recorder, started, reference, version,
+            copies, copy_bytes, corrected_bytes) -> None:
+    recorder.merge({
+        "diff.correcting.calls": 1,
+        "diff.correcting.seconds": perf_counter() - started,
+        "diff.correcting.reference_bytes": len(reference),
+        "diff.correcting.version_bytes": len(version),
+        "diff.correcting.copies": copies,
+        "diff.correcting.copy_bytes": copy_bytes,
+        "diff.correcting.corrected_bytes": corrected_bytes,
+    })

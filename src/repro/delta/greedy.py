@@ -11,18 +11,31 @@ by ``max_candidates`` per bucket).
 Matched strings are found at byte granularity with no alignment
 restriction, which is precisely the property (section 2) that lets delta
 compression work on arbitrary binaries.
+
+The scan comes in two bit-identical forms.  When the index carries the
+flat-array fast-path grouping (:attr:`FullSeedIndex.groups`), all
+version fingerprints and all candidate lookups are resolved in bulk
+vectorized passes before the scan loop runs — the loop itself touches
+only plain-list indexing and :func:`match_length`.  Otherwise the scan
+rolls a scalar Karp-Rabin hash and probes ``index.candidates`` per
+offset, exactly as before.  Candidate order (ascending reference
+offsets) and the first-longest tie-break are the same either way, so
+the emitted script is too.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional, Union
 
+from .. import perf
 from ..core.commands import DeltaScript
 from .builder import ScriptBuilder
 from .rolling import (
     DEFAULT_SEED_LENGTH,
     FullSeedIndex,
     RollingHash,
+    _seed_fingerprint_array,
     match_length,
 )
 
@@ -55,12 +68,19 @@ def greedy_delta(
     """
     if seed_length <= 0:
         raise ValueError("seed_length must be positive, got %d" % seed_length)
+    recorder = perf.active()
+    started = perf_counter() if recorder is not None else 0.0
     builder = ScriptBuilder(version)
     n = len(version)
+    script = None
     if n == 0:
-        return builder.finish()
-    if len(reference) < seed_length or n < seed_length:
-        return builder.finish()  # nothing can match; whole version is one add
+        script = builder.finish()
+    elif len(reference) < seed_length or n < seed_length:
+        script = builder.finish()  # nothing can match; whole version is one add
+    if script is not None:
+        if recorder is not None:
+            _report(recorder, started, reference, version, 0, 0, 0, False)
+        return script
 
     if index is not None:
         if index.seed_length != seed_length:
@@ -73,26 +93,86 @@ def greedy_delta(
                                  max_candidates=max_candidates)
     else:
         index = FullSeedIndex(reference, seed_length, max_candidates)
-    roller = RollingHash(seed_length)
-    pos = 0
-    fingerprint = roller.reset(version, 0)
-    while pos + seed_length <= n:
-        best_len = 0
-        best_src = -1
-        for cand in index.candidates(fingerprint):
-            # Fingerprints can collide; match_length re-verifies bytes,
-            # so a bogus candidate just yields a short (or zero) match.
-            length = match_length(reference, cand, version, pos)
-            if length > best_len:
-                best_len = length
-                best_src = cand
-        if best_len >= seed_length:
-            builder.emit_copy(best_src, pos, best_len)
-            pos += best_len
-            if pos + seed_length <= n:
-                fingerprint = roller.reset(version, pos)
-            continue
-        if pos + seed_length < n:
-            fingerprint = roller.update(version[pos], version[pos + seed_length])
-        pos += 1
-    return builder.finish()
+
+    probes = 0
+    copies = 0
+    copy_bytes = 0
+    groups = getattr(index, "groups", None)
+    fast = groups is not None
+    if fast:
+        # Bulk phase: fingerprint every version seed in one vectorized
+        # pass and screen them all through the index's membership
+        # filter.  The scan jumps over every matched region, so only
+        # the positions it actually visits — and of those, only the
+        # filter's hits — pay for a real candidate lookup.
+        fps_v = _seed_fingerprint_array(version, seed_length)
+        maybe = groups.membership(fps_v)
+        lookup = groups.lookup
+        pos = 0
+        last = n - seed_length
+        emit_copy = builder.emit_copy
+        while pos <= last:
+            if maybe[pos]:
+                candidates = lookup(int(fps_v[pos]))
+                if candidates:
+                    probes += len(candidates)
+                    best_len = 0
+                    best_src = -1
+                    for cand in candidates:
+                        # Fingerprints can collide; match_length
+                        # re-verifies bytes, so a bogus candidate just
+                        # yields a short (or zero) match.
+                        length = match_length(reference, cand, version, pos)
+                        if length > best_len:
+                            best_len = length
+                            best_src = cand
+                    if best_len >= seed_length:
+                        emit_copy(best_src, pos, best_len)
+                        copies += 1
+                        copy_bytes += best_len
+                        pos += best_len
+                        continue
+            pos += 1
+    else:
+        roller = RollingHash(seed_length)
+        pos = 0
+        fingerprint = roller.reset(version, 0)
+        while pos + seed_length <= n:
+            best_len = 0
+            best_src = -1
+            for cand in index.candidates(fingerprint):
+                probes += 1
+                length = match_length(reference, cand, version, pos)
+                if length > best_len:
+                    best_len = length
+                    best_src = cand
+            if best_len >= seed_length:
+                builder.emit_copy(best_src, pos, best_len)
+                copies += 1
+                copy_bytes += best_len
+                pos += best_len
+                if pos + seed_length <= n:
+                    fingerprint = roller.reset(version, pos)
+                continue
+            if pos + seed_length < n:
+                fingerprint = roller.update(version[pos], version[pos + seed_length])
+            pos += 1
+    script = builder.finish()
+    if recorder is not None:
+        _report(recorder, started, reference, version,
+                probes, copies, copy_bytes, fast)
+    return script
+
+
+def _report(recorder, started, reference, version,
+            probes, copies, copy_bytes, fast) -> None:
+    recorder.merge({
+        "diff.greedy.calls": 1,
+        "diff.greedy.seconds": perf_counter() - started,
+        "diff.greedy.reference_bytes": len(reference),
+        "diff.greedy.version_bytes": len(version),
+        "diff.greedy.candidates_probed": probes,
+        "diff.greedy.copies": copies,
+        "diff.greedy.copy_bytes": copy_bytes,
+        "diff.greedy.fast_path": 1 if fast else 0,
+    })

@@ -18,15 +18,25 @@ regardless of input size — the property that made [5] suitable for very
 large files — at the cost of missing some matches the greedy algorithm
 finds (notably transposed blocks), a trade the paper's section 2 notes
 is experimentally small.
+
+The table *contents* depend on scan order (inserts interleave with the
+jumping cursors), so they cannot be precomputed — but the fingerprints
+themselves are pure functions of each buffer.  The scan therefore
+consumes two precomputed fingerprint lists (vectorized under the fast
+paths, scalar rolling otherwise; bit-identical either way) and the loop
+proper does only list indexing, table slot probes, and slice-compare
+match extension.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Union
 
+from .. import perf
 from ..core.commands import DeltaScript
 from .builder import ScriptBuilder
-from .rolling import DEFAULT_SEED_LENGTH, RollingHash, SeedTable, match_length
+from .rolling import DEFAULT_SEED_LENGTH, SeedTable, match_length, seed_fingerprints
 
 Buffer = Union[bytes, bytearray, memoryview]
 
@@ -46,112 +56,122 @@ def onepass_delta(
     large inputs but never affect correctness.
 
     The seed *tables* are interleaved with the tandem scan and cannot be
-    shared, but the reference-side rolling fingerprints the scan hashes
-    from are a pure function of the reference.  Pass ``cache`` (a
+    shared, but the reference-side fingerprints the scan hashes from are
+    a pure function of the reference.  Pass ``cache`` (a
     :class:`repro.pipeline.cache.ReferenceIndexCache`) to reuse them
     across every version diffed against the same reference; the output
     script is byte-identical to the uncached call.
     """
     if seed_length <= 0:
         raise ValueError("seed_length must be positive, got %d" % seed_length)
+    recorder = perf.active()
+    started = perf_counter() if recorder is not None else 0.0
     builder = ScriptBuilder(version)
     len_r, len_v = len(reference), len(version)
-    if len_v == 0:
-        return builder.finish()
-    if len_r < seed_length or len_v < seed_length:
-        return builder.finish()
+    if len_v == 0 or len_r < seed_length or len_v < seed_length:
+        script = builder.finish()
+        if recorder is not None:
+            _report(recorder, started, reference, version, 0, 0)
+        return script
 
-    fps_r = None
     if cache is not None:
         fps_r = cache.fingerprints(reference, seed_length=seed_length)
+    else:
+        fps_r = seed_fingerprints(reference, seed_length)
+    fps_v = seed_fingerprints(version, seed_length)
 
     table_r = SeedTable(table_size)
     table_v = SeedTable(table_size)
-    roller_r = RollingHash(seed_length)
-    roller_v = RollingHash(seed_length)
+    # The scan indexes the slot lists directly: the FCFS inserts and
+    # lookups below run once or twice per byte scanned, and going
+    # through the SeedTable methods costs more than the table logic
+    # itself.  Occupancy is written back before returning.
+    slots_r = table_r._slots
+    slots_v = table_v._slots
+    occupied_r = 0
+    occupied_v = 0
+    emit_copy = builder.emit_copy
 
+    last_r = len_r - seed_length  # rightmost offset with a whole seed
+    last_v = len_v - seed_length
     rc = 0  # reference cursor
     vc = 0  # version cursor
-    fp_r = fps_r[0] if fps_r is not None else roller_r.reset(reference, 0)
-    fp_v = roller_v.reset(version, 0)
-    r_live = True  # cursor fingerprints valid at rc / vc
-    v_live = True
+    copies = 0
+    copy_bytes = 0
 
-    def reseed_r(at: int) -> bool:
-        nonlocal fp_r
-        if at + seed_length <= len_r:
-            fp_r = fps_r[at] if fps_r is not None else roller_r.reset(reference, at)
-            return True
-        return False
-
-    def reseed_v(at: int) -> bool:
-        nonlocal fp_v
-        if at + seed_length <= len_v:
-            fp_v = roller_v.reset(version, at)
-            return True
-        return False
-
-    while (r_live and rc + seed_length <= len_r) or (v_live and vc + seed_length <= len_v):
+    while rc <= last_r or vc <= last_v:
         # Hash the seeds under both cursors *before* the lookups, so two
         # cursors standing on the same string (the identical-prefix case)
         # see each other immediately.
-        if r_live and rc + seed_length <= len_r:
-            table_r.insert(fp_r, rc)
-        if v_live and vc + seed_length <= len_v:
-            table_v.insert(fp_v, vc)
+        if rc <= last_r:
+            fp_r = fps_r[rc]
+            slot = fp_r % table_size
+            if slots_r[slot] < 0:
+                slots_r[slot] = rc
+                occupied_r += 1
+        if vc <= last_v:
+            fp_v = fps_v[vc]
+            slot = fp_v % table_size
+            if slots_v[slot] < 0:
+                slots_v[slot] = vc
+                occupied_v += 1
         matched = False
         # Direction 1: the version seed matches reference data already scanned.
-        if v_live and vc + seed_length <= len_v:
-            cand = table_r.lookup(fp_v)
-            if cand is not None and \
+        if vc <= last_v:
+            cand = slots_r[fp_v % table_size]
+            if cand >= 0 and \
                     reference[cand:cand + seed_length] == version[vc:vc + seed_length]:
                 length = seed_length + match_length(
                     reference, cand + seed_length, version, vc + seed_length
                 )
-                builder.emit_copy(cand, vc, length)
+                emit_copy(cand, vc, length)
+                copies += 1
+                copy_bytes += length
                 # Jump BOTH cursors past the matched substrings ([5]).
                 # The version cursor passes the encoded region; the
                 # reference cursor advances by the same amount, keeping
                 # the tandem scan aligned even when the table hit was an
                 # early repeated occurrence rather than the aligned one.
                 vc += length
-                v_live = reseed_v(vc)
                 rc += length
-                r_live = reseed_r(rc)
                 matched = True
         # Direction 2: the reference seed matches pending version data.
-        if not matched and r_live and rc + seed_length <= len_r:
-            cand = table_v.lookup(fp_r)
-            if cand is not None and cand >= builder.add_start and \
+        if not matched and rc <= last_r:
+            cand = slots_v[fp_r % table_size]
+            if cand >= 0 and cand >= builder.add_start and \
                     version[cand:cand + seed_length] == reference[rc:rc + seed_length]:
                 length = seed_length + match_length(
                     reference, rc + seed_length, version, cand + seed_length
                 )
-                builder.emit_copy(rc, cand, length)
+                emit_copy(rc, cand, length)
+                copies += 1
+                copy_bytes += length
                 rc += length
-                r_live = reseed_r(rc)
                 if builder.add_start > vc:
                     vc = builder.add_start
-                    v_live = reseed_v(vc)
                 matched = True
         if matched:
             continue
         # No match under either cursor: advance both one byte.
-        if r_live and rc + seed_length <= len_r:
-            if rc + seed_length < len_r:
-                if fps_r is not None:
-                    fp_r = fps_r[rc + 1]
-                else:
-                    fp_r = roller_r.update(reference[rc], reference[rc + seed_length])
-                rc += 1
-            else:
-                rc += 1
-                r_live = False
-        if v_live and vc + seed_length <= len_v:
-            if vc + seed_length < len_v:
-                fp_v = roller_v.update(version[vc], version[vc + seed_length])
-                vc += 1
-            else:
-                vc += 1
-                v_live = False
-    return builder.finish()
+        if rc <= last_r:
+            rc += 1
+        if vc <= last_v:
+            vc += 1
+
+    table_r.occupied = occupied_r
+    table_v.occupied = occupied_v
+    script = builder.finish()
+    if recorder is not None:
+        _report(recorder, started, reference, version, copies, copy_bytes)
+    return script
+
+
+def _report(recorder, started, reference, version, copies, copy_bytes) -> None:
+    recorder.merge({
+        "diff.onepass.calls": 1,
+        "diff.onepass.seconds": perf_counter() - started,
+        "diff.onepass.reference_bytes": len(reference),
+        "diff.onepass.version_bytes": len(version),
+        "diff.onepass.copies": copies,
+        "diff.onepass.copy_bytes": copy_bytes,
+    })

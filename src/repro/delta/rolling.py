@@ -7,11 +7,33 @@ byte at a time in O(1); :class:`SeedTable` is the fixed-size,
 first-come-first-served hash table the linear-time, constant-space
 algorithms use, and :class:`FullSeedIndex` is the exhaustive
 position-list index the greedy algorithm uses.
+
+**Fast paths.**  Fingerprinting a buffer one byte per Python iteration is
+the bottleneck of every differencing run, so this module carries two
+implementations of each primitive:
+
+* the scalar *reference* implementations (``RollingHash``,
+  :func:`iter_seed_hashes`, :func:`seed_fingerprints_reference`,
+  :func:`match_length_reference`, ...) — simple, dependency-free, and
+  the correctness oracle;
+* vectorized fast paths (:mod:`repro.delta._kernels`, numpy) that
+  compute *bit-identical* fingerprints in whole-buffer passes, plus a
+  block-compare :func:`match_length` that locates the first mismatch by
+  doubling windows and binary search instead of a per-byte loop.
+
+Fast paths switch on automatically when numpy is importable; call
+:func:`use_fast_paths` (or set ``REPRO_NO_FAST=1`` in the environment)
+to pin the reference paths — the delta scripts produced are identical
+either way, which ``tests/test_vectorized_oracle.py`` enforces.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from .. import perf
+from . import _kernels as _k
 
 Buffer = Union[bytes, bytearray, memoryview]
 
@@ -20,6 +42,32 @@ DEFAULT_SEED_LENGTH = 16
 
 _BASE = 257
 _MODULUS = (1 << 61) - 1  # Mersenne prime keeps the arithmetic fast and uniform.
+
+#: Module switch for the fast paths (on unless REPRO_NO_FAST is set).
+#: Flip at runtime with :func:`use_fast_paths`.  The block-compare
+#: match extension is pure Python and honors the switch alone; the
+#: vectorized fingerprint kernels additionally require numpy and fall
+#: back to the scalar reference paths without it.
+_FAST = not os.environ.get("REPRO_NO_FAST")
+
+
+def use_fast_paths(enabled: bool) -> bool:
+    """Enable/disable the fast paths; returns the previous state.
+
+    The reference and fast paths produce bit-identical fingerprints,
+    match lengths, and delta scripts; this switch exists for oracle
+    testing and for benchmarking the scalar pre-optimization baseline
+    (``ipdelta bench --no-fast``).
+    """
+    global _FAST
+    previous = _FAST
+    _FAST = bool(enabled)
+    return previous
+
+
+def fast_paths_enabled() -> bool:
+    """True when the vectorized fast paths are active."""
+    return _FAST
 
 
 class RollingHash:
@@ -72,7 +120,11 @@ def hash_seed(data: Buffer, start: int, length: int) -> int:
 
 
 def iter_seed_hashes(data: Buffer, seed_length: int) -> Iterator[Tuple[int, int]]:
-    """Yield ``(offset, fingerprint)`` for every seed of ``data``, rolling in O(1)."""
+    """Yield ``(offset, fingerprint)`` for every seed of ``data``, rolling in O(1).
+
+    The scalar reference scan; :func:`seed_fingerprints` is the
+    vectorized equivalent and the one the differs consume.
+    """
     n = len(data)
     if n < seed_length:
         return
@@ -84,6 +136,12 @@ def iter_seed_hashes(data: Buffer, seed_length: int) -> Iterator[Tuple[int, int]
         yield offset, value
 
 
+def seed_fingerprints_reference(data: Buffer,
+                                seed_length: int = DEFAULT_SEED_LENGTH) -> List[int]:
+    """Scalar oracle for :func:`seed_fingerprints`: one rolling pass."""
+    return [fp for _offset, fp in iter_seed_hashes(data, seed_length)]
+
+
 def seed_fingerprints(data: Buffer, seed_length: int = DEFAULT_SEED_LENGTH) -> List[int]:
     """Materialized rolling fingerprints for every seed offset of ``data``.
 
@@ -93,9 +151,32 @@ def seed_fingerprints(data: Buffer, seed_length: int = DEFAULT_SEED_LENGTH) -> L
     lets a scan that repeatedly re-seeds over the same buffer (and a
     cache serving many scans of one reference, see
     :class:`repro.pipeline.cache.ReferenceIndexCache`) skip the per-byte
-    rolling arithmetic entirely.
+    rolling arithmetic entirely; under the fast paths the whole list is
+    computed in a handful of vectorized passes.
     """
-    return [fp for _offset, fp in iter_seed_hashes(data, seed_length)]
+    if _FAST and _k.HAVE_NUMPY:
+        fps = _k.seed_fingerprints(data, seed_length).tolist()
+        perf.add("fingerprint.fast_calls")
+        perf.add("fingerprint.bytes", len(data))
+        return fps
+    perf.add("fingerprint.reference_calls")
+    perf.add("fingerprint.bytes", len(data))
+    return seed_fingerprints_reference(data, seed_length)
+
+
+def _seed_fingerprint_array(data: Buffer, seed_length: int):
+    """Fingerprints as a uint64 array (fast) or list (reference).
+
+    Internal: the greedy scan keeps the array form to resolve all
+    candidate lookups in one vectorized pass.
+    """
+    if _FAST and _k.HAVE_NUMPY:
+        perf.add("fingerprint.fast_calls")
+        perf.add("fingerprint.bytes", len(data))
+        return _k.seed_fingerprints(data, seed_length)
+    perf.add("fingerprint.reference_calls")
+    perf.add("fingerprint.bytes", len(data))
+    return seed_fingerprints_reference(data, seed_length)
 
 
 class SeedTable:
@@ -106,6 +187,10 @@ class SeedTable:
     offset of the *first* seed that landed there; later colliding seeds
     are dropped.  Lookups must verify candidate matches against the
     actual bytes, since distinct seeds can share a slot.
+
+    Storage is one flat list of slot offsets (``-1`` = empty) — the scan
+    loops in the differs bind it locally and index it directly, which is
+    the fastest scalar access CPython offers.
     """
 
     __slots__ = ("size", "_slots", "occupied")
@@ -117,6 +202,25 @@ class SeedTable:
         self._slots: List[int] = [-1] * size
         #: Number of filled slots, exposed for load-factor diagnostics.
         self.occupied = 0
+
+    @classmethod
+    def from_fingerprints(cls, fingerprints, size: int = 1 << 16) -> "SeedTable":
+        """Build a table by FCFS-inserting ``fingerprints[i] -> i`` in order.
+
+        The whole-buffer form of the half-pass the correcting algorithm
+        runs over its reference: offset ``i`` is stored for fingerprint
+        ``fingerprints[i]`` unless an earlier fingerprint claimed the
+        slot.  Vectorized under the fast paths (a stable first-occurrence
+        reduction), bit-identical to the insertion loop.
+        """
+        table = cls(size)
+        if _FAST and _k.HAVE_NUMPY:
+            table._slots, table.occupied = _k.fcfs_slots(fingerprints, size)
+            return table
+        insert = table.insert
+        for offset, fingerprint in enumerate(fingerprints):
+            insert(fingerprint, offset)
+        return table
 
     def insert(self, fingerprint: int, offset: int) -> bool:
         """Record ``offset`` for ``fingerprint`` unless its slot is taken.
@@ -141,6 +245,22 @@ class SeedTable:
         self.occupied = 0
 
 
+def full_index_reference(data: Buffer, seed_length: int = DEFAULT_SEED_LENGTH,
+                         max_positions: int = 64) -> Dict[int, List[int]]:
+    """Scalar oracle for the greedy index: fingerprint -> capped offsets.
+
+    The dict-of-lists the pre-vectorization :class:`FullSeedIndex` built,
+    retained so the property suite can compare the flat-array fast path
+    bucket-for-bucket.
+    """
+    index: Dict[int, List[int]] = {}
+    for offset, fingerprint in iter_seed_hashes(data, seed_length):
+        bucket = index.setdefault(fingerprint, [])
+        if len(bucket) < max_positions:
+            bucket.append(offset)
+    return index
+
+
 class FullSeedIndex:
     """Exhaustive seed index: every seed offset of a buffer, by fingerprint.
 
@@ -149,33 +269,48 @@ class FullSeedIndex:
     letting the caller pick the longest extension.  ``max_positions``
     caps pathological buckets (e.g. runs of zero bytes) so lookups stay
     bounded.
+
+    Under the fast paths the index is flat arrays — fingerprints grouped
+    by a stable sort, offsets ascending within each group exactly like
+    insertion order — instead of a dict of lists; ``groups`` then
+    supports the greedy scan's vectorized
+    :meth:`~repro.delta._kernels.FingerprintGroups.membership` prefilter.
+    Candidate lists returned by :meth:`candidates` are identical in
+    content and order either way.
     """
 
     def __init__(self, data: Buffer, seed_length: int = DEFAULT_SEED_LENGTH,
                  max_positions: int = 64):
         self.seed_length = seed_length
         self.data = data
-        self._index: Dict[int, List[int]] = {}
-        for offset, fingerprint in iter_seed_hashes(data, seed_length):
-            bucket = self._index.setdefault(fingerprint, [])
-            if len(bucket) < max_positions:
-                bucket.append(offset)
+        self.max_positions = max_positions
+        #: Flat-array grouping (fast paths), or None on the dict path.
+        self.groups = None
+        self._index: Optional[Dict[int, List[int]]] = None
+        with perf.timer("index.full.build"):
+            if _FAST and _k.HAVE_NUMPY:
+                fps = _k.seed_fingerprints(data, seed_length)
+                self.groups = _k.FingerprintGroups(fps, max_positions)
+            else:
+                self._index = full_index_reference(data, seed_length,
+                                                  max_positions)
+        perf.add("index.full.positions", len(self))
 
     def candidates(self, fingerprint: int) -> List[int]:
         """All stored reference offsets whose seed has this fingerprint."""
+        if self.groups is not None:
+            return self.groups.lookup(fingerprint)
         return self._index.get(fingerprint, [])
 
     def __len__(self) -> int:
+        if self.groups is not None:
+            return self.groups.stored
         return sum(len(v) for v in self._index.values())
 
 
-def match_length(a: Buffer, a_start: int, b: Buffer, b_start: int,
-                 limit: Optional[int] = None) -> int:
-    """Length of the longest common prefix of ``a[a_start:]`` and ``b[b_start:]``.
-
-    Compares in chunks, so long matches cost far fewer Python-level
-    operations than a byte loop.
-    """
+def match_length_reference(a: Buffer, a_start: int, b: Buffer, b_start: int,
+                           limit: Optional[int] = None) -> int:
+    """Scalar oracle for :func:`match_length`: fixed chunks, bytewise tail."""
     max_len = min(len(a) - a_start, len(b) - b_start)
     if limit is not None:
         max_len = min(max_len, limit)
@@ -195,17 +330,97 @@ def match_length(a: Buffer, a_start: int, b: Buffer, b_start: int,
     return matched
 
 
-def match_length_backward(a: Buffer, a_end: int, b: Buffer, b_end: int,
-                          limit: Optional[int] = None) -> int:
-    """Length of the longest common suffix of ``a[:a_end]`` and ``b[:b_end]``.
+def match_length(a: Buffer, a_start: int, b: Buffer, b_start: int,
+                 limit: Optional[int] = None) -> int:
+    """Length of the longest common prefix of ``a[a_start:]`` and ``b[b_start:]``.
 
-    ``a_end``/``b_end`` are exclusive.  Used by the correcting algorithm
-    to extend matches backwards over bytes previously classed as added.
+    Block-compare strategy: grow a doubling window of slice comparisons
+    (each a C-level memcmp) while blocks match, then binary-search inside
+    the first mismatching block with halving slice comparisons — no
+    per-byte Python loop anywhere, so an immediate mismatch costs one
+    16-byte compare and a megabyte match costs ~2 MB of memcmp in ~17
+    Python operations.
     """
+    if not _FAST:
+        return match_length_reference(a, a_start, b, b_start, limit)
+    max_len = min(len(a) - a_start, len(b) - b_start)
+    if limit is not None and limit < max_len:
+        max_len = limit
+    if max_len <= 0:
+        return 0
+    matched = 0
+    step = 16
+    while matched < max_len:
+        if step > max_len - matched:
+            step = max_len - matched
+        pa = a_start + matched
+        pb = b_start + matched
+        if a[pa:pa + step] == b[pb:pb + step]:
+            matched += step
+            step <<= 1
+            continue
+        # First mismatch lies in [matched, matched + step): bisect with
+        # slice compares.  Invariant: bytes [0, lo) of the window match
+        # and a mismatch exists in [lo, hi).
+        lo, hi = 0, step
+        while hi - lo > 1:
+            mid = (lo + hi) >> 1
+            if a[pa + lo:pa + mid] == b[pb + lo:pb + mid]:
+                lo = mid
+            else:
+                hi = mid
+        return matched + lo
+    return matched
+
+
+def match_length_backward_reference(a: Buffer, a_end: int, b: Buffer, b_end: int,
+                                    limit: Optional[int] = None) -> int:
+    """Scalar oracle for :func:`match_length_backward`: one byte per step."""
     max_len = min(a_end, b_end)
     if limit is not None:
         max_len = min(max_len, limit)
     matched = 0
     while matched < max_len and a[a_end - matched - 1] == b[b_end - matched - 1]:
         matched += 1
+    return matched
+
+
+def match_length_backward(a: Buffer, a_end: int, b: Buffer, b_end: int,
+                          limit: Optional[int] = None) -> int:
+    """Length of the longest common suffix of ``a[:a_end]`` and ``b[:b_end]``.
+
+    ``a_end``/``b_end`` are exclusive.  Used by the correcting algorithm
+    to extend matches backwards over bytes previously classed as added.
+    Same doubling-window + bisect strategy as :func:`match_length`,
+    aligned from the right.
+    """
+    if not _FAST:
+        return match_length_backward_reference(a, a_end, b, b_end, limit)
+    max_len = min(a_end, b_end)
+    if limit is not None and limit < max_len:
+        max_len = limit
+    if max_len <= 0:
+        return 0
+    matched = 0
+    step = 16
+    while matched < max_len:
+        if step > max_len - matched:
+            step = max_len - matched
+        pa = a_end - matched
+        pb = b_end - matched
+        if a[pa - step:pa] == b[pb - step:pb]:
+            matched += step
+            step <<= 1
+            continue
+        # Mismatch within the rightmost `step` bytes of the window.
+        # Invariant: the rightmost `lo` bytes match and a mismatch
+        # exists among bytes (lo, hi].
+        lo, hi = 0, step
+        while hi - lo > 1:
+            mid = (lo + hi) >> 1
+            if a[pa - mid:pa - lo] == b[pb - mid:pb - lo]:
+                lo = mid
+            else:
+                hi = mid
+        return matched + lo
     return matched

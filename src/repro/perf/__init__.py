@@ -1,0 +1,50 @@
+"""Opt-in performance telemetry: counters, timers, bench artifacts.
+
+The subsystem has three layers:
+
+* :mod:`repro.perf.recorder` — a process-global, opt-in
+  :class:`PerfRecorder`.  Instrumented code (the differencing
+  algorithms, the reference-index cache, the converter, the appliers,
+  the batch pipeline) reports *aggregate* counters per call — never
+  per-byte events — and only when a recorder is active, so the
+  disabled path costs one global load and an ``is None`` test per
+  instrumented call site.
+
+* :mod:`repro.perf.bench` — the ``ipdelta bench`` runner.  It executes
+  a fixed suite of operations against deterministically generated
+  corpus inputs and writes one machine-readable ``BENCH_<name>.json``
+  artifact per operation (schema: op, input sizes, wall time,
+  throughput, counters).
+
+* :mod:`repro.perf.compare` — the regression gate.  It diffs two
+  artifact directories (a committed baseline vs a fresh run) and fails
+  on throughput loss beyond a threshold, or when a required minimum
+  speedup between two runs is not met.
+
+Typical uses::
+
+    from repro import perf
+
+    with perf.recording() as rec:
+        greedy_delta(reference, version)
+    print(rec.counters["diff.greedy.seconds"])
+
+    $ ipdelta bench --quick --output-dir /tmp/bench
+    $ python -m repro.perf.compare benchmarks/baselines/current /tmp/bench
+"""
+
+from .recorder import (
+    PerfRecorder,
+    active,
+    add,
+    recording,
+    timer,
+)
+
+__all__ = [
+    "PerfRecorder",
+    "active",
+    "add",
+    "recording",
+    "timer",
+]

@@ -1,0 +1,296 @@
+"""The ``ipdelta bench`` runner: a fixed suite, machine-readable artifacts.
+
+Each benchmark operation runs against deterministically generated corpus
+inputs (fixed seeds, so every machine measures the same work) and writes
+one ``BENCH_<name>.json`` artifact::
+
+    {
+      "schema": "repro.perf.bench/1",
+      "name": "diff_greedy_1536k",
+      "op": "diff.greedy",
+      "input_bytes": {"reference": ..., "version": ...},
+      "wall_seconds": ...,          # best of `repeats`
+      "throughput_mb_s": ...,       # processed bytes / wall / 1e6
+      "repeats": ...,
+      "counters": {...},            # repro.perf counters from the best run
+      "meta": {"fast_paths": ..., "numpy": ..., "python": ...,
+               "oracle_identical": ...}
+    }
+
+Differencing artifacts carry ``meta.oracle_identical``: when the fast
+paths are on, the runner re-runs the diff with
+:func:`repro.delta.rolling.use_fast_paths` disabled and asserts the
+encoded delta is byte-identical — the bench never reports a throughput
+win for output that drifted from the oracle.
+
+``repro.perf.compare`` consumes two directories of these artifacts and
+gates regressions; see ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..core.apply import apply_delta, apply_in_place, reconstruct
+from ..core.convert import make_in_place
+from ..delta import _kernels
+from ..delta import encode_delta, greedy_delta, onepass_delta, correcting_delta
+from ..delta.rolling import (
+    DEFAULT_SEED_LENGTH,
+    FullSeedIndex,
+    SeedTable,
+    fast_paths_enabled,
+    seed_fingerprints,
+    use_fast_paths,
+)
+from ..delta.varint import varint_size
+from ..pipeline.cache import ReferenceIndexCache
+from ..workloads.mutators import MutationProfile, mutate
+from ..workloads.sources import make_binary_blob
+from . import recording
+
+SCHEMA = "repro.perf.bench/1"
+
+#: Seed for the deterministic bench corpus (the paper's publication
+#: venue date) — fixed so artifacts measure identical work everywhere.
+_SEED = 19980601
+
+#: The tentpole's ">= 1 MiB corpus input": a 1.5 MiB binary blob and a
+#: realistically mutated successor (the corpus generator's binary
+#: mutation profile).
+LARGE_SIZE = 1_572_864
+#: A smaller pair for the cheap operations.
+SMALL_SIZE = 262_144
+
+_DIFFERS = {
+    "greedy": greedy_delta,
+    "onepass": onepass_delta,
+    "correcting": correcting_delta,
+}
+
+
+def bench_pair(size: int = LARGE_SIZE, seed: int = _SEED):
+    """The deterministic (reference, version) pair of the bench suite."""
+    rng = random.Random(seed)
+    reference = make_binary_blob(rng, size)
+    version = mutate(reference, rng,
+                     MutationProfile(edits_per_kb=0.55, max_edit=768))
+    return reference, version
+
+
+class BenchOp:
+    """One benchmark operation: a label, a body, and its byte volume."""
+
+    def __init__(self, name: str, op: str, run: Callable[[], object],
+                 input_bytes: Dict[str, int], processed_bytes: int,
+                 quick: bool = False,
+                 oracle: Optional[Callable[[object], bool]] = None):
+        self.name = name
+        self.op = op
+        self.run = run
+        self.input_bytes = input_bytes
+        self.processed_bytes = processed_bytes
+        #: Included in ``--quick`` runs.
+        self.quick = quick
+        #: Given the fast-path result, True when the oracle path agrees.
+        self.oracle = oracle
+
+
+def _diff_op(name_suffix: str, algorithm: str, reference, version,
+             quick: bool, cache: Optional[ReferenceIndexCache] = None) -> BenchOp:
+    differ = _DIFFERS[algorithm]
+    kwargs = {"cache": cache} if cache is not None else {}
+
+    def run():
+        return differ(reference, version, **kwargs)
+
+    def oracle(script) -> bool:
+        previous = use_fast_paths(False)
+        try:
+            expected = differ(reference, version)
+        finally:
+            use_fast_paths(previous)
+        return encode_delta(script) == encode_delta(expected) and \
+            bytes(apply_delta(script, reference)) == bytes(version)
+
+    return BenchOp(
+        name="diff_%s_%s" % (algorithm, name_suffix),
+        op="diff.%s" % algorithm,
+        run=run,
+        input_bytes={"reference": len(reference), "version": len(version)},
+        processed_bytes=len(version),
+        quick=quick,
+        oracle=oracle,
+    )
+
+
+def build_suite(quick: bool) -> List[BenchOp]:
+    """The benchmark suite; ``quick`` selects the CI smoke subset."""
+    reference, version = bench_pair(LARGE_SIZE)
+    ops: List[BenchOp] = []
+
+    large = "1536k"
+    ops.append(_diff_op(large, "greedy", reference, version, quick=True))
+    ops.append(_diff_op(large, "correcting", reference, version, quick=True))
+    ops.append(_diff_op(large, "onepass", reference, version, quick=False))
+
+    # Differencing with a warm reference cache: the batch-serving shape,
+    # where one reference index serves many versions.
+    cache = ReferenceIndexCache()
+    cache.warm("greedy", reference)
+    ops.append(_diff_op(large + "_cached", "greedy", reference, version,
+                        quick=False, cache=cache))
+
+    ops.append(BenchOp(
+        name="fingerprints_" + large,
+        op="index.fingerprints",
+        run=lambda: seed_fingerprints(reference, DEFAULT_SEED_LENGTH),
+        input_bytes={"reference": len(reference)},
+        processed_bytes=len(reference),
+        quick=True,
+    ))
+    ops.append(BenchOp(
+        name="full_index_" + large,
+        op="index.full",
+        run=lambda: FullSeedIndex(reference, DEFAULT_SEED_LENGTH, 64),
+        input_bytes={"reference": len(reference)},
+        processed_bytes=len(reference),
+        quick=False,
+    ))
+    ops.append(BenchOp(
+        name="seed_table_" + large,
+        op="index.seed_table",
+        run=lambda: SeedTable.from_fingerprints(
+            seed_fingerprints(reference, DEFAULT_SEED_LENGTH)),
+        input_bytes={"reference": len(reference)},
+        processed_bytes=len(reference),
+        quick=False,
+    ))
+
+    # Conversion + application on the small pair (these stages are cheap
+    # relative to differencing — the imbalance the tentpole attacks).
+    small_ref, small_ver = bench_pair(SMALL_SIZE, seed=_SEED + 1)
+    script = greedy_delta(small_ref, small_ver)
+    converted = make_in_place(script, small_ref,
+                              offset_encoding_size=varint_size)
+
+    def run_convert():
+        return make_in_place(script, small_ref,
+                             offset_encoding_size=varint_size)
+
+    def run_apply_two_space():
+        return apply_delta(script, small_ref)
+
+    def run_apply_in_place():
+        return apply_in_place(converted.script, bytearray(small_ref))
+
+    small_sizes = {"reference": len(small_ref), "version": len(small_ver)}
+    ops.append(BenchOp("convert_256k", "convert.in_place", run_convert,
+                       small_sizes, len(small_ver), quick=False))
+    ops.append(BenchOp("apply_two_space_256k", "apply.two_space",
+                       run_apply_two_space, small_sizes, len(small_ver),
+                       quick=True,
+                       oracle=lambda out: bytes(out) == bytes(small_ver)))
+    ops.append(BenchOp("apply_in_place_256k", "apply.in_place",
+                       run_apply_in_place, small_sizes, len(small_ver),
+                       quick=False,
+                       oracle=lambda out: bytes(out) == bytes(small_ver)))
+
+    if quick:
+        return [op for op in ops if op.quick]
+    return ops
+
+
+def run_op(op: BenchOp, repeats: int) -> Dict[str, object]:
+    """Execute one op ``repeats`` times; artifact dict from the best run.
+
+    One untimed warmup run precedes the timed repeats so one-time costs
+    (power-table construction, allocator growth) do not pollute the
+    measurement.
+    """
+    op.run()
+    best_seconds = None
+    best_counters: Dict[str, float] = {}
+    result = None
+    for _ in range(max(1, repeats)):
+        with recording() as recorder:
+            t0 = time.perf_counter()
+            result = op.run()
+            elapsed = time.perf_counter() - t0
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+            best_counters = recorder.counters
+    oracle_identical = None
+    if op.oracle is not None:
+        oracle_identical = bool(op.oracle(result))
+    return {
+        "schema": SCHEMA,
+        "name": op.name,
+        "op": op.op,
+        "input_bytes": op.input_bytes,
+        "wall_seconds": best_seconds,
+        "throughput_mb_s": op.processed_bytes / best_seconds / 1e6
+        if best_seconds else None,
+        "repeats": max(1, repeats),
+        "counters": best_counters,
+        "meta": {
+            "fast_paths": fast_paths_enabled(),
+            "numpy": _kernels.HAVE_NUMPY,
+            "python": platform.python_version(),
+            "seed_length": DEFAULT_SEED_LENGTH,
+            "oracle_identical": oracle_identical,
+        },
+    }
+
+
+def run_bench(
+    output_dir: str = "bench_artifacts",
+    *,
+    quick: bool = False,
+    fast: bool = True,
+    repeats: Optional[int] = None,
+    ops: Optional[List[str]] = None,
+    echo: Callable[[str], None] = print,
+) -> List[Path]:
+    """Run the suite and write one ``BENCH_<name>.json`` per operation.
+
+    ``fast=False`` pins the scalar reference paths for the whole run —
+    the pre-optimization baseline (such artifacts skip the oracle
+    cross-check; they *are* the oracle).  ``ops`` filters by artifact
+    name substring.  Returns the paths written.
+    """
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    if repeats is None:
+        repeats = 1 if quick else 3
+    previous = use_fast_paths(fast)
+    written: List[Path] = []
+    try:
+        suite = build_suite(quick)
+        if ops:
+            suite = [op for op in suite
+                     if any(wanted in op.name for wanted in ops)]
+        for op in suite:
+            if not fast:
+                op.oracle = None
+            artifact = run_op(op, repeats)
+            path = out / ("BENCH_%s.json" % op.name)
+            path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+            written.append(path)
+            identical = artifact["meta"]["oracle_identical"]
+            suffix = "" if identical is None else \
+                "  oracle=%s" % ("ok" if identical else "MISMATCH")
+            echo("%-28s %8.3fs  %8.2f MB/s%s" % (
+                op.name, artifact["wall_seconds"],
+                artifact["throughput_mb_s"] or 0.0, suffix))
+            if identical is False:
+                raise AssertionError(
+                    "%s: fast-path output differs from the oracle" % op.name)
+    finally:
+        use_fast_paths(previous)
+    return written

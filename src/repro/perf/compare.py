@@ -1,0 +1,177 @@
+"""Bench-regression gate: diff two directories of ``BENCH_*.json`` artifacts.
+
+Given a *baseline* directory (committed, or a fresh oracle run) and a
+*current* directory, artifacts are matched by ``name`` and compared on
+``throughput_mb_s``:
+
+* a matched artifact whose throughput dropped by more than ``threshold``
+  (default 15%) is a **regression** and fails the gate;
+* ``--min-speedup NAME=FACTOR`` additionally requires the current run to
+  be at least ``FACTOR``x the baseline for that artifact — the form the
+  CI smoke job uses to hold the vectorized paths to their promised
+  speedup over the scalar oracle *measured on the same machine*, which
+  is noise-free in a way cross-machine comparisons are not.
+
+Exit status 0 when every gate passes, 1 otherwise::
+
+    python -m repro.perf.compare BASELINE_DIR CURRENT_DIR \
+        --threshold 0.15 --min-speedup diff_greedy_1536k=3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .bench import SCHEMA
+
+DEFAULT_THRESHOLD = 0.15
+
+
+def load_artifacts(directory: str) -> Dict[str, dict]:
+    """Read every ``BENCH_*.json`` under ``directory``, keyed by name."""
+    artifacts: Dict[str, dict] = {}
+    root = Path(directory)
+    for path in sorted(root.glob("BENCH_*.json")):
+        data = json.loads(path.read_text())
+        if data.get("schema") != SCHEMA:
+            raise ValueError("%s: unknown schema %r" % (path, data.get("schema")))
+        artifacts[data["name"]] = data
+    if not artifacts:
+        raise FileNotFoundError("no BENCH_*.json artifacts in %s" % directory)
+    return artifacts
+
+
+@dataclass
+class Comparison:
+    """Verdict for one artifact name present in either run."""
+
+    name: str
+    baseline_mb_s: Optional[float]
+    current_mb_s: Optional[float]
+    ratio: Optional[float]  # current / baseline
+    required_speedup: Optional[float]
+    ok: bool
+    detail: str
+
+
+def compare_artifacts(
+    baseline: Dict[str, dict],
+    current: Dict[str, dict],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_speedup: Optional[Dict[str, float]] = None,
+) -> List[Comparison]:
+    """Compare two artifact sets; one :class:`Comparison` per name.
+
+    Artifacts present on only one side are reported (``ok=True``) but
+    cannot regress; a ``min_speedup`` entry whose artifact is missing on
+    either side fails, so a misspelled gate cannot silently pass.
+    """
+    min_speedup = dict(min_speedup or {})
+    results: List[Comparison] = []
+    for name in sorted(set(baseline) | set(current) | set(min_speedup)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        required = min_speedup.get(name)
+        if base is None or cur is None:
+            side = "baseline" if base is None else "current run"
+            ok = required is None
+            results.append(Comparison(
+                name=name,
+                baseline_mb_s=base["throughput_mb_s"] if base else None,
+                current_mb_s=cur["throughput_mb_s"] if cur else None,
+                ratio=None, required_speedup=required, ok=ok,
+                detail="missing from %s%s" % (
+                    side, "" if ok else " but required by --min-speedup"),
+            ))
+            continue
+        base_tp = base["throughput_mb_s"]
+        cur_tp = cur["throughput_mb_s"]
+        ratio = cur_tp / base_tp if base_tp else None
+        if ratio is None:
+            results.append(Comparison(name, base_tp, cur_tp, None, required,
+                                      True, "baseline throughput is zero"))
+            continue
+        if required is not None:
+            ok = ratio >= required
+            detail = "%.2fx vs required %.2fx" % (ratio, required)
+        else:
+            ok = ratio >= 1.0 - threshold
+            detail = "%.2fx vs floor %.2fx" % (ratio, 1.0 - threshold)
+        results.append(Comparison(name, base_tp, cur_tp, ratio, required,
+                                  ok, detail))
+    return results
+
+
+def render(results: List[Comparison]) -> str:
+    lines = ["%-30s %12s %12s  %s" % ("artifact", "base MB/s", "cur MB/s",
+                                      "verdict")]
+    for r in results:
+        lines.append("%-30s %12s %12s  %s %s" % (
+            r.name,
+            "-" if r.baseline_mb_s is None else "%.2f" % r.baseline_mb_s,
+            "-" if r.current_mb_s is None else "%.2f" % r.current_mb_s,
+            "PASS" if r.ok else "FAIL",
+            r.detail,
+        ))
+    return "\n".join(lines)
+
+
+def parse_min_speedup(pairs: List[str]) -> Dict[str, float]:
+    """Parse repeated ``NAME=FACTOR`` options."""
+    out: Dict[str, float] = {}
+    for pair in pairs:
+        name, _, factor = pair.partition("=")
+        if not name or not factor:
+            raise argparse.ArgumentTypeError(
+                "expected NAME=FACTOR, got %r" % pair)
+        out[name] = float(factor)
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.compare",
+        description="Diff two BENCH_*.json artifact directories and fail "
+                    "on throughput regressions.",
+    )
+    parser.add_argument("baseline", help="directory with baseline artifacts")
+    parser.add_argument("current", help="directory with current artifacts")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="maximum tolerated throughput loss "
+                             "(default %(default)s)")
+    parser.add_argument("--min-speedup", action="append", default=[],
+                        metavar="NAME=FACTOR",
+                        help="require current >= FACTOR x baseline for "
+                             "artifact NAME (repeatable)")
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_artifacts(args.baseline)
+        current = load_artifacts(args.current)
+        min_speedup = parse_min_speedup(args.min_speedup)
+    except (OSError, ValueError, json.JSONDecodeError,
+            argparse.ArgumentTypeError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    results = compare_artifacts(
+        baseline,
+        current,
+        threshold=args.threshold,
+        min_speedup=min_speedup,
+    )
+    print(render(results))
+    failures = [r for r in results if not r.ok]
+    if failures:
+        print("FAIL: %d of %d gates" % (len(failures), len(results)))
+        return 1
+    print("OK: %d gates passed" % len(results))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Process-global, opt-in performance counters and timers.
+
+Design constraints (the hot paths this instruments run millions of
+Python operations per second):
+
+* **Disabled is near-free.**  Instrumented code calls module-level
+  :func:`add`/:func:`timer` — each checks one module global against
+  ``None`` and returns.  Hot loops never call into this module per
+  iteration; they accumulate into local variables and report one
+  aggregate per call, and they may skip even that accumulation when
+  :func:`active` returned ``None`` at entry.
+
+* **Thread-safe when enabled.**  The pipeline's thread pools report
+  concurrently; :class:`PerfRecorder` guards its dict with a lock.
+
+* **Counters are flat.**  ``"diff.greedy.calls" -> 3`` — a plain dict
+  keyed by dotted names, trivially JSON-serializable into bench
+  artifacts.  The counter names are documented in
+  ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+Number = float
+
+
+class PerfRecorder:
+    """A bag of named counters with add/merge/snapshot operations."""
+
+    __slots__ = ("_lock", "_counters")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Number] = {}
+
+    def add(self, name: str, value: Number = 1) -> None:
+        """Accumulate ``value`` into counter ``name``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def merge(self, counters: Dict[str, Number]) -> None:
+        """Accumulate a whole counter dict (e.g. another recorder's)."""
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+
+    @property
+    def counters(self) -> Dict[str, Number]:
+        """A snapshot copy of the counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        with self._lock:
+            return self._counters.get(name, default)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PerfRecorder(%r)" % (self.counters,)
+
+
+#: The active recorder, or None (the default: telemetry off).
+_ACTIVE: Optional[PerfRecorder] = None
+_ACTIVATION_LOCK = threading.Lock()
+
+
+def active() -> Optional[PerfRecorder]:
+    """The currently active recorder, or ``None`` when telemetry is off.
+
+    Hot paths call this once at function entry and branch on the result,
+    so per-iteration work stays untouched when recording is disabled.
+    """
+    return _ACTIVE
+
+
+def add(name: str, value: Number = 1) -> None:
+    """Accumulate into the active recorder; no-op when telemetry is off."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.add(name, value)
+
+
+@contextmanager
+def recording(recorder: Optional[PerfRecorder] = None) -> Iterator[PerfRecorder]:
+    """Activate a recorder for the dynamic extent of the ``with`` block.
+
+    Nested activations stack: the inner recorder wins for its extent and
+    the outer one is restored afterwards.  (One recorder is active per
+    *process*, not per thread — pipeline workers all report into the
+    recorder their batch runs under, which is the useful aggregation.)
+    """
+    global _ACTIVE
+    if recorder is None:
+        recorder = PerfRecorder()
+    with _ACTIVATION_LOCK:
+        previous = _ACTIVE
+        _ACTIVE = recorder
+    try:
+        yield recorder
+    finally:
+        with _ACTIVATION_LOCK:
+            _ACTIVE = previous
+
+
+@contextmanager
+def timer(name: str) -> Iterator[None]:
+    """Time the block into ``<name>.seconds`` and bump ``<name>.calls``.
+
+    When telemetry is off the block runs with zero added work beyond the
+    two clock reads being skipped entirely.
+    """
+    recorder = _ACTIVE
+    if recorder is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        recorder.add(name + ".seconds", time.perf_counter() - t0)
+        recorder.add(name + ".calls", 1)

@@ -28,11 +28,11 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from .. import perf
 from ..delta.rolling import (
     DEFAULT_SEED_LENGTH,
     FullSeedIndex,
     SeedTable,
-    iter_seed_hashes,
     seed_fingerprints,
 )
 
@@ -129,8 +129,10 @@ class ReferenceIndexCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
+                perf.add("cache.reference.hits")
                 return entry[0], True
             self._misses += 1
+            perf.add("cache.reference.misses")
             value = build()
             nbytes = estimate(value)
             if nbytes <= self.max_bytes:
@@ -140,6 +142,7 @@ class ReferenceIndexCache:
                     _old_key, (_old_value, old_bytes) = self._entries.popitem(last=False)
                     self._bytes -= old_bytes
                     self._evictions += 1
+                    perf.add("cache.reference.evictions")
             return value, False
 
     # -- artifact getters ---------------------------------------------
@@ -175,10 +178,9 @@ class ReferenceIndexCache:
         key = (KIND_SEED_TABLE, self.digest(reference), seed_length, table_size)
 
         def build() -> SeedTable:
-            table = SeedTable(table_size)
-            for offset, fingerprint in iter_seed_hashes(reference, seed_length):
-                table.insert(fingerprint, offset)
-            return table
+            return SeedTable.from_fingerprints(
+                seed_fingerprints(reference, seed_length), table_size
+            )
 
         value, _hit = self._fetch(
             key,

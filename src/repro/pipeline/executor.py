@@ -53,6 +53,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from .. import perf
 from ..core.apply import verify_reference
 from ..core.commands import AddCommand, DeltaScript
 from ..core.convert import ConversionReport, make_in_place
@@ -309,7 +310,10 @@ def _diff_stage(
         kwargs["cache"] = cache
     t0 = time.perf_counter()
     script = ALGORITHMS[algorithm](job.reference, job.version, **kwargs)
-    return (script, queue_seconds, time.perf_counter() - t0, cache_hit,
+    diff_seconds = time.perf_counter() - t0
+    perf.add("pipeline.diff.seconds", diff_seconds)
+    perf.add("pipeline.diff.jobs")
+    return (script, queue_seconds, diff_seconds, cache_hit,
             submitted_at, faults)
 
 
@@ -529,6 +533,7 @@ class DeltaPipeline:
             offset_encoding_size=pricing,
         )
         convert_seconds = time.perf_counter() - t0
+        perf.add("pipeline.convert.seconds", convert_seconds)
         t0 = time.perf_counter()
         payload = encode_delta(
             converted.script,
@@ -537,6 +542,7 @@ class DeltaPipeline:
             reference=job.reference,
         )
         encode_seconds = time.perf_counter() - t0
+        perf.add("pipeline.encode.seconds", encode_seconds)
         integrity = ""
         if self.verify_outputs:
             # Decode the bytes we are about to hand out: this re-checks

@@ -1,0 +1,293 @@
+"""Fast paths vs scalar oracles: bit-identity, property-style.
+
+The vectorized differencing core (``repro.delta._kernels`` plus the
+block-compare match extension in ``repro.delta.rolling``) promises
+*bit-identical* results to the retained scalar reference
+implementations.  This suite holds it to that on random, adversarial
+(long zero runs, periodic buffers, near-duplicate pairs), and
+corpus-style inputs:
+
+* ``seed_fingerprints`` vs ``seed_fingerprints_reference``;
+* ``match_length`` / ``match_length_backward`` vs their ``_reference``
+  twins, across planted prefix/suffix lengths and limits;
+* ``SeedTable.from_fingerprints`` (vectorized FCFS reduction) vs the
+  scalar insertion loop, slot for slot;
+* ``FullSeedIndex`` / ``FingerprintGroups`` vs ``full_index_reference``,
+  bucket for bucket in content and order, plus the one-sided
+  ``membership`` prefilter;
+* whole differs (greedy, onepass, correcting): encoded deltas with the
+  fast paths on must equal the encoded deltas with them pinned off.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.delta import _kernels
+from repro.delta import (
+    correcting_delta,
+    encode_delta,
+    greedy_delta,
+    onepass_delta,
+)
+from repro.delta.rolling import (
+    DEFAULT_SEED_LENGTH,
+    FullSeedIndex,
+    SeedTable,
+    full_index_reference,
+    fast_paths_enabled,
+    match_length,
+    match_length_backward,
+    match_length_backward_reference,
+    match_length_reference,
+    seed_fingerprints,
+    seed_fingerprints_reference,
+    use_fast_paths,
+)
+
+needs_numpy = pytest.mark.skipif(not _kernels.HAVE_NUMPY,
+                                 reason="numpy unavailable")
+
+
+@pytest.fixture
+def fast_on():
+    """Run the test with the fast paths pinned on, restoring after."""
+    previous = use_fast_paths(True)
+    yield
+    use_fast_paths(previous)
+
+
+def _inputs():
+    """(label, data) corpus: random, adversarial, and corpus-style."""
+    rng = random.Random(0x1998)
+    text = (b"int reconstruct(struct delta *d, char *buf, size_t len);\n"
+            b"/* in-place: copies before adds, cycles broken */\n")
+    return [
+        ("empty", b""),
+        ("short", b"delta"),
+        ("exact_seed", bytes(range(DEFAULT_SEED_LENGTH))),
+        ("random", rng.randbytes(5000)),
+        ("zero_run", b"\x00" * 4096 + rng.randbytes(128)),
+        ("periodic", (b"abcdefgh" * 700)[:5000]),
+        ("low_entropy", bytes(rng.choice(b"ab") for _ in range(3000))),
+        ("corpus_style", text * 60),
+    ]
+
+
+INPUTS = _inputs()
+SEED_LENGTHS = [4, DEFAULT_SEED_LENGTH, 32]
+
+
+# ---------------------------------------------------------------------------
+# seed_fingerprints
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+@pytest.mark.parametrize("label,data", INPUTS, ids=[l for l, _ in INPUTS])
+@pytest.mark.parametrize("seed_length", SEED_LENGTHS)
+def test_kernel_fingerprints_match_reference(label, data, seed_length):
+    expected = seed_fingerprints_reference(data, seed_length)
+    got = _kernels.seed_fingerprints(data, seed_length).tolist()
+    assert got == expected
+
+
+@pytest.mark.parametrize("label,data", INPUTS, ids=[l for l, _ in INPUTS])
+def test_dispatching_fingerprints_match_reference(label, data, fast_on):
+    assert seed_fingerprints(data) == seed_fingerprints_reference(
+        data, DEFAULT_SEED_LENGTH)
+
+
+@needs_numpy
+def test_kernel_fingerprints_accept_buffer_views():
+    data = random.Random(7).randbytes(2048)
+    for view in (bytearray(data), memoryview(data)):
+        assert _kernels.seed_fingerprints(view, 16).tolist() == \
+            seed_fingerprints_reference(data, 16)
+
+
+# ---------------------------------------------------------------------------
+# match_length / match_length_backward
+# ---------------------------------------------------------------------------
+
+def _planted_pairs():
+    """Buffer pairs with known common prefix lengths at chosen offsets."""
+    rng = random.Random(0xC0FFEE)
+    cases = []
+    for common in [0, 1, 15, 16, 17, 255, 512, 513, 4096, 10000]:
+        a_pre = rng.randbytes(rng.randrange(64))
+        b_pre = rng.randbytes(rng.randrange(64))
+        shared = rng.randbytes(common)
+        # Distinct trailing bytes guarantee the match stops at `common`
+        # (when neither side runs out first).
+        a = a_pre + shared + b"\x01" + rng.randbytes(8)
+        b = b_pre + shared + b"\x02" + rng.randbytes(8)
+        cases.append((a, len(a_pre), b, len(b_pre)))
+    # Boundary shapes: match running to the very end of either buffer.
+    tail = rng.randbytes(300)
+    cases.append((tail, 0, tail, 0))
+    cases.append((b"xy" + tail, 2, tail, 0))
+    cases.append((b"", 0, b"abc", 0))
+    return cases
+
+
+@pytest.mark.parametrize("limit", [None, 0, 1, 7, 16, 100, 1 << 20])
+def test_match_length_matches_reference(limit, fast_on):
+    for a, a_start, b, b_start in _planted_pairs():
+        expected = match_length_reference(a, a_start, b, b_start, limit)
+        assert match_length(a, a_start, b, b_start, limit) == expected
+
+
+@pytest.mark.parametrize("limit", [None, 0, 1, 7, 16, 100, 1 << 20])
+def test_match_length_backward_matches_reference(limit, fast_on):
+    for a, a_start, b, b_start in _planted_pairs():
+        # Mirror the planted-prefix cases into suffix cases by aligning
+        # the ends just past the shared region.
+        a_end, b_end = len(a), len(b)
+        expected = match_length_backward_reference(a, a_end, b, b_end, limit)
+        assert match_length_backward(a, a_end, b, b_end, limit) == expected
+        shared = match_length_reference(a, a_start, b, b_start)
+        a_end = a_start + shared
+        b_end = b_start + shared
+        expected = match_length_backward_reference(a, a_end, b, b_end, limit)
+        assert match_length_backward(a, a_end, b, b_end, limit) == expected
+
+
+def test_match_length_fuzz(fast_on):
+    rng = random.Random(31337)
+    for _ in range(300):
+        n = rng.randrange(1, 400)
+        a = bytes(rng.choice(b"\x00\x01") for _ in range(n))
+        b = bytes(rng.choice(b"\x00\x01") for _ in range(rng.randrange(1, 400)))
+        a_start = rng.randrange(len(a) + 1)
+        b_start = rng.randrange(len(b) + 1)
+        limit = rng.choice([None, rng.randrange(0, 64)])
+        assert match_length(a, a_start, b, b_start, limit) == \
+            match_length_reference(a, a_start, b, b_start, limit)
+        a_end = rng.randrange(len(a) + 1)
+        b_end = rng.randrange(len(b) + 1)
+        assert match_length_backward(a, a_end, b, b_end, limit) == \
+            match_length_backward_reference(a, a_end, b, b_end, limit)
+
+
+# ---------------------------------------------------------------------------
+# SeedTable FCFS construction
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+@pytest.mark.parametrize("label,data", INPUTS, ids=[l for l, _ in INPUTS])
+@pytest.mark.parametrize("size", [64, 1 << 10, 1 << 16])
+def test_fcfs_table_matches_insert_loop(label, data, size, fast_on):
+    fingerprints = seed_fingerprints_reference(data, DEFAULT_SEED_LENGTH)
+    fast = SeedTable.from_fingerprints(fingerprints, size)
+    oracle = SeedTable(size)
+    for offset, fingerprint in enumerate(fingerprints):
+        oracle.insert(fingerprint, offset)
+    assert fast._slots == oracle._slots
+    assert fast.occupied == oracle.occupied
+    for fingerprint in fingerprints:
+        assert fast.lookup(fingerprint) == oracle.lookup(fingerprint)
+
+
+# ---------------------------------------------------------------------------
+# FullSeedIndex / FingerprintGroups
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+@pytest.mark.parametrize("label,data", INPUTS, ids=[l for l, _ in INPUTS])
+@pytest.mark.parametrize("max_positions", [1, 2, 64])
+def test_full_index_matches_reference(label, data, max_positions, fast_on):
+    index = FullSeedIndex(data, DEFAULT_SEED_LENGTH, max_positions)
+    oracle = full_index_reference(data, DEFAULT_SEED_LENGTH, max_positions)
+    if len(data) >= DEFAULT_SEED_LENGTH:
+        assert index.groups is not None
+    assert len(index) == sum(len(v) for v in oracle.values())
+    for fingerprint, offsets in oracle.items():
+        assert index.candidates(fingerprint) == offsets
+    # Absent fingerprints yield empty candidate lists on both paths.
+    absent = max(oracle, default=0) + 1
+    assert index.candidates(absent) == []
+    assert oracle.get(absent, []) == []
+
+
+@needs_numpy
+def test_membership_prefilter_is_one_sided(fast_on):
+    rng = random.Random(5150)
+    reference = rng.randbytes(4000)
+    version = reference[:1500] + rng.randbytes(800) + reference[2000:]
+    index = FullSeedIndex(reference, DEFAULT_SEED_LENGTH, 64)
+    fps = _kernels.seed_fingerprints(version, DEFAULT_SEED_LENGTH)
+    maybe = index.groups.membership(fps)
+    assert len(maybe) == len(fps)
+    stored = set(full_index_reference(reference, DEFAULT_SEED_LENGTH, 64))
+    for flag, fingerprint in zip(maybe, fps.tolist()):
+        if fingerprint in stored:
+            # No false negatives: every stored fingerprint must pass.
+            assert flag
+        if not flag:
+            # A negative must mean the fingerprint is truly absent.
+            assert fingerprint not in stored
+            assert index.candidates(fingerprint) == []
+
+
+@needs_numpy
+def test_groups_lookup_after_flatten_threshold(fast_on, monkeypatch):
+    """The hybrid lookup is identical before and after list flattening."""
+    monkeypatch.setattr(_kernels.FingerprintGroups, "_FLATTEN_AFTER", 4)
+    data = random.Random(99).randbytes(2000)
+    index = FullSeedIndex(data, DEFAULT_SEED_LENGTH, 8)
+    oracle = full_index_reference(data, DEFAULT_SEED_LENGTH, 8)
+    queries = list(oracle) * 2 + [max(oracle) + 1]
+    for fingerprint in queries:  # crosses the flatten threshold mid-loop
+        assert index.candidates(fingerprint) == oracle.get(fingerprint, [])
+
+
+# ---------------------------------------------------------------------------
+# Whole differs: fast on == fast off, byte for byte
+# ---------------------------------------------------------------------------
+
+def _pairs():
+    rng = random.Random(0xD1FF)
+    pairs = []
+    base = rng.randbytes(30000)
+    mutated = bytearray(base)
+    for _ in range(12):
+        at = rng.randrange(len(mutated) - 64)
+        mutated[at:at + rng.randrange(1, 64)] = rng.randbytes(rng.randrange(1, 64))
+    pairs.append(("random_edits", base, bytes(mutated)))
+    pairs.append(("zero_runs", b"\x00" * 9000 + base[:2000],
+                  b"\x00" * 8500 + base[:2500]))
+    period = (b"0123456789abcdef" * 1200)
+    pairs.append(("periodic", period, period[:7000] + b"SPLICE" + period[7000:]))
+    pairs.append(("disjoint", rng.randbytes(4000), rng.randbytes(4000)))
+    pairs.append(("identical", base[:8000], base[:8000]))
+    return pairs
+
+
+@pytest.mark.parametrize("differ", [greedy_delta, onepass_delta,
+                                    correcting_delta],
+                         ids=["greedy", "onepass", "correcting"])
+@pytest.mark.parametrize("label,reference,version", _pairs(),
+                         ids=[p[0] for p in _pairs()])
+def test_differ_output_identical_fast_vs_reference(differ, label, reference,
+                                                   version):
+    previous = use_fast_paths(True)
+    try:
+        fast = differ(reference, version)
+        use_fast_paths(False)
+        slow = differ(reference, version)
+    finally:
+        use_fast_paths(previous)
+    assert encode_delta(fast) == encode_delta(slow)
+
+
+def test_use_fast_paths_round_trips():
+    original = fast_paths_enabled()
+    try:
+        assert use_fast_paths(False) == original
+        assert fast_paths_enabled() is False
+        assert use_fast_paths(True) is False
+        assert fast_paths_enabled() is True
+    finally:
+        use_fast_paths(original)
