@@ -19,6 +19,7 @@ loop is now much closer to the warm one.)
 
 from __future__ import annotations
 
+import os
 import random
 
 from conftest import write_report
@@ -26,8 +27,10 @@ from harness import elapsed
 from repro.analysis.tables import render_kv
 from repro.core.convert import make_in_place
 from repro.delta import FORMAT_INPLACE, encode_delta, greedy_delta, version_checksum
-from repro.pipeline import DeltaPipeline, PipelineJob
+from repro.pipeline import DeltaPipeline, PipelineConfig, PipelineJob
 from repro.workloads import make_source_file, mutate
+from repro.workloads.mutators import MutationProfile
+from repro.workloads.sources import make_binary_blob
 
 VERSIONS = 10
 WORKERS = 4
@@ -124,7 +127,109 @@ def test_bench_pipeline_kernel(benchmark):
     reference, versions = _batch(seed=7, size=60_000)
     jobs = [PipelineJob(reference, v, "v%d" % i)
             for i, v in enumerate(versions)]
-    with DeltaPipeline(algorithm="greedy", executor="thread",
-                       diff_workers=WORKERS) as pipe:
+    with DeltaPipeline(PipelineConfig(algorithm="greedy", executor="thread",
+                                      diff_workers=WORKERS)) as pipe:
         pipe.warm([reference])
         benchmark(lambda: pipe.run(jobs))
+
+
+# -- shared-memory transport vs per-job pickling ----------------------
+
+SHM_REFERENCE_BYTES = 12 << 20
+SHM_VERSION_BYTES = 16_384
+SHM_JOBS = 12
+SHM_MIN_SPEEDUP = 1.5
+
+
+def _fleet_batch(reference_bytes, version_bytes, count, seed=19980601):
+    """One multi-megabyte reference, many small chunk updates.
+
+    The fleet-serving shape: the reference dominates the bytes in
+    flight, so how each executor transports it to the workers is the
+    measured difference.
+    """
+    reference = make_binary_blob(random.Random(seed), reference_bytes)
+    jobs = []
+    for i in range(count):
+        rng = random.Random(seed + 100 + i)
+        start = rng.randrange(reference_bytes - version_bytes)
+        version = mutate(reference[start:start + version_bytes], rng,
+                         MutationProfile(edits_per_kb=0.3, max_edit=512))
+        jobs.append(PipelineJob(reference, version, "v%d" % i))
+    return jobs
+
+
+def test_process_shm_speedup_over_process(benchmark):
+    """``"process-shm"`` must beat ``"process"`` on a multi-MiB reference.
+
+    Both executors run the identical warm batch: the ``"process"``
+    executor pickles the 12 MiB reference to a worker per job (plus a
+    per-job content hash for the worker's cache key), while
+    ``"process-shm"`` publishes it into shared memory once and ships
+    16-byte-scale descriptors.  Payloads must be byte-identical to a
+    serial run, and no ``/dev/shm`` segment may survive the batches.
+    """
+    jobs = _fleet_batch(SHM_REFERENCE_BYTES, SHM_VERSION_BYTES, SHM_JOBS)
+
+    def timed_batch(executor):
+        with DeltaPipeline(PipelineConfig(
+                algorithm="correcting", executor=executor,
+                diff_workers=2, convert_workers=2)) as pipe:
+            pipe.run(jobs)  # absorb pool spawn + per-worker table build
+            seconds, batch = min(
+                (elapsed(lambda: pipe.run(jobs)) for _ in range(3)),
+                key=lambda pair: pair[0],
+            )
+        assert batch.ok_jobs == len(jobs), batch.quarantined
+        return seconds, [r.payload for r in batch.results]
+
+    def run():
+        process_s, process_payloads = timed_batch("process")
+        shm_s, shm_payloads = timed_batch("process-shm")
+        with DeltaPipeline(PipelineConfig(
+                algorithm="correcting", executor="serial")) as serial:
+            expected = [r.payload for r in serial.run(jobs).results]
+        return process_s, shm_s, process_payloads, shm_payloads, expected
+
+    (process_s, shm_s, process_payloads, shm_payloads,
+     expected) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    leftovers = [n for n in os.listdir("/dev/shm") if n.startswith("ipd-")]
+    speedup = process_s / shm_s
+    write_report(
+        "pipeline_shm_transport",
+        render_kv(
+            "process vs process-shm transport "
+            "(%d MiB reference, %d x %d KiB versions)"
+            % (SHM_REFERENCE_BYTES >> 20, SHM_JOBS,
+               SHM_VERSION_BYTES >> 10),
+            [
+                ("process batch", "%.3f s" % process_s),
+                ("process-shm batch", "%.3f s" % shm_s),
+                ("speedup", "%.2fx" % speedup),
+                ("byte-identical (process)", "%d / %d" % (
+                    sum(p == e for p, e in zip(process_payloads, expected)),
+                    len(expected))),
+                ("byte-identical (process-shm)", "%d / %d" % (
+                    sum(p == e for p, e in zip(shm_payloads, expected)),
+                    len(expected))),
+                ("/dev/shm leftovers", "%d" % len(leftovers)),
+            ],
+        ),
+        data={
+            "reference_bytes": SHM_REFERENCE_BYTES,
+            "version_bytes": SHM_VERSION_BYTES,
+            "jobs": SHM_JOBS,
+            "process_seconds": process_s,
+            "process_shm_seconds": shm_s,
+            "speedup": speedup,
+            "shm_leftovers": leftovers,
+        },
+    )
+    assert process_payloads == expected
+    assert shm_payloads == expected
+    assert not leftovers, "orphaned shared-memory segments: %r" % leftovers
+    assert speedup >= SHM_MIN_SPEEDUP, (
+        "process-shm must be >= %.1fx process on a multi-MiB reference, "
+        "got %.2fx" % (SHM_MIN_SPEEDUP, speedup)
+    )

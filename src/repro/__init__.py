@@ -71,8 +71,10 @@ from .delta import (
 )
 from .exceptions import IntegrityError
 from .pipeline import (
+    EXECUTORS,
     BatchReport,
     DeltaPipeline,
+    PipelineConfig,
     PipelineJob,
     PipelineReport,
     PipelineResult,
@@ -147,6 +149,7 @@ __all__ = [
     "CopyCommand",
     "DeltaPipeline",
     "DeltaScript",
+    "EXECUTORS",
     "FORMAT_INPLACE",
     "FillCommand",
     "SpillCommand",
@@ -157,6 +160,7 @@ __all__ = [
     "WIRE_V1",
     "WIRE_V2",
     "LocallyMinimumPolicy",
+    "PipelineConfig",
     "PipelineJob",
     "PipelineReport",
     "PipelineResult",

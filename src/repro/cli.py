@@ -61,7 +61,13 @@ from .delta.encode import (
 from .delta.stream import read_header
 from .exceptions import IntegrityError, ReproError
 from .faults import FaultPlan
-from .pipeline import EXECUTORS, DeltaPipeline, PipelineJob
+from .pipeline import (
+    EXECUTORS,
+    PROCESS_EXECUTORS,
+    DeltaPipeline,
+    PipelineConfig,
+    PipelineJob,
+)
 from .workloads.corpus import Corpus
 
 
@@ -369,7 +375,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     if args.fault_plan:
         fault_plan = FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
     fallback = [n for n in (args.fallback or "").split(",") if n]
-    with DeltaPipeline(
+    config = PipelineConfig(
         algorithm=args.algorithm,
         policy=args.policy,
         ordering=args.ordering,
@@ -379,12 +385,13 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         convert_workers=args.workers,
         cache_bytes=args.cache_bytes,
         retries=args.retries,
-        fallback=fallback,
+        fallback=tuple(fallback),
         stage_timeout=args.stage_timeout,
         backoff_base=args.backoff,
         fault_plan=fault_plan,
-    ) as pipe:
-        if args.executor != "process":
+    )
+    with DeltaPipeline(config) as pipe:
+        if args.executor not in PROCESS_EXECUTORS:
             pipe.warm([reference])
         batch = pipe.run(jobs)
     rows = [["version", "delta", "ratio", "cache", "diff ms", "convert ms",

@@ -48,6 +48,7 @@ def correcting_delta(
     *,
     seed_length: int = DEFAULT_SEED_LENGTH,
     table_size: int = 1 << 16,
+    table=None,
     cache=None,
 ) -> DeltaScript:
     """Compute a delta script for ``version`` against ``reference``.
@@ -56,14 +57,21 @@ def correcting_delta(
     linear in the inputs plus the lengths of verified matches.
 
     The half-pass table is a pure function of the reference, so when one
-    reference serves many versions it can be built once: pass ``cache``
-    (a :class:`repro.pipeline.cache.ReferenceIndexCache`) and the table
-    is fetched by content digest instead of rebuilt.  The full pass only
-    reads the table, so the shared copy is never mutated and the output
-    script is byte-identical to the uncached call.
+    reference serves many versions it can be built once: pass ``table``
+    (a prebuilt :class:`~repro.delta.rolling.SeedTable` over
+    ``reference`` with matching ``table_size``) or ``cache`` (a
+    :class:`repro.pipeline.cache.ReferenceIndexCache`, consulted by
+    content digest).  The full pass only reads the table, so the shared
+    copy is never mutated and the output script is byte-identical to
+    the uncached call.
     """
     if seed_length <= 0:
         raise ValueError("seed_length must be positive, got %d" % seed_length)
+    if table is not None and table.size != table_size:
+        raise ValueError(
+            "prebuilt table has size %d, call requested %d"
+            % (table.size, table_size)
+        )
     recorder = perf.active()
     started = perf_counter() if recorder is not None else 0.0
     builder = ScriptBuilder(version)
@@ -74,7 +82,9 @@ def correcting_delta(
             _report(recorder, started, reference, version, 0, 0, 0)
         return script
 
-    if cache is not None:
+    if table is not None:
+        pass
+    elif cache is not None:
         table = cache.seed_table(reference, seed_length=seed_length,
                                  table_size=table_size)
     else:

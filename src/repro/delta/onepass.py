@@ -47,6 +47,7 @@ def onepass_delta(
     *,
     seed_length: int = DEFAULT_SEED_LENGTH,
     table_size: int = 1 << 16,
+    fingerprints=None,
     cache=None,
 ) -> DeltaScript:
     """Compute a delta script for ``version`` against ``reference``.
@@ -57,10 +58,13 @@ def onepass_delta(
 
     The seed *tables* are interleaved with the tandem scan and cannot be
     shared, but the reference-side fingerprints the scan hashes from are
-    a pure function of the reference.  Pass ``cache`` (a
-    :class:`repro.pipeline.cache.ReferenceIndexCache`) to reuse them
-    across every version diffed against the same reference; the output
-    script is byte-identical to the uncached call.
+    a pure function of the reference.  Pass ``fingerprints`` (the
+    precomputed :func:`~repro.delta.rolling.seed_fingerprints` of
+    ``reference`` at this ``seed_length``) or ``cache`` (a
+    :class:`repro.pipeline.cache.ReferenceIndexCache`, consulted by
+    content digest) to reuse them across every version diffed against
+    the same reference; the output script is byte-identical to the
+    uncached call.
     """
     if seed_length <= 0:
         raise ValueError("seed_length must be positive, got %d" % seed_length)
@@ -74,7 +78,14 @@ def onepass_delta(
             _report(recorder, started, reference, version, 0, 0)
         return script
 
-    if cache is not None:
+    if fingerprints is not None:
+        if len(fingerprints) != len_r - seed_length + 1:
+            raise ValueError(
+                "prebuilt fingerprints cover %d seeds, reference has %d"
+                % (len(fingerprints), len_r - seed_length + 1)
+            )
+        fps_r = fingerprints
+    elif cache is not None:
         fps_r = cache.fingerprints(reference, seed_length=seed_length)
     else:
         fps_r = seed_fingerprints(reference, seed_length)

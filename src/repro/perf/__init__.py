@@ -37,6 +37,7 @@ from .recorder import (
     PerfRecorder,
     active,
     add,
+    merge,
     recording,
     timer,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "PerfRecorder",
     "active",
     "add",
+    "merge",
     "recording",
     "timer",
 ]

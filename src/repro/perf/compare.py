@@ -10,12 +10,18 @@ Given a *baseline* directory (committed, or a fresh oracle run) and a
   be at least ``FACTOR``x the baseline for that artifact — the form the
   CI smoke job uses to hold the vectorized paths to their promised
   speedup over the scalar oracle *measured on the same machine*, which
-  is noise-free in a way cross-machine comparisons are not.
+  is noise-free in a way cross-machine comparisons are not;
+* ``--min-speedup CURNAME/BASENAME=FACTOR`` gates the ratio of two
+  *different* artifacts — ``CURNAME`` from the current run against
+  ``BASENAME`` from the baseline.  Pointing both directories at the
+  same run turns this into a same-machine A/B gate, e.g. holding the
+  ``"process-shm"`` pipeline executor to a floor against ``"process"``.
 
 Exit status 0 when every gate passes, 1 otherwise::
 
     python -m repro.perf.compare BASELINE_DIR CURRENT_DIR \
-        --threshold 0.15 --min-speedup diff_greedy_1536k=3.0
+        --threshold 0.15 --min-speedup diff_greedy_1536k=3.0 \
+        --min-speedup pipeline_process_shm_256k/pipeline_process_256k=0.9
 """
 
 from __future__ import annotations
@@ -71,8 +77,16 @@ def compare_artifacts(
     Artifacts present on only one side are reported (``ok=True``) but
     cannot regress; a ``min_speedup`` entry whose artifact is missing on
     either side fails, so a misspelled gate cannot silently pass.
+
+    A ``min_speedup`` key of the form ``"CURNAME/BASENAME"`` gates
+    ``current[CURNAME] / baseline[BASENAME]`` instead of matching one
+    name on both sides — the same-machine A/B form.
     """
     min_speedup = dict(min_speedup or {})
+    cross = {name: factor for name, factor in min_speedup.items()
+             if "/" in name}
+    for name in cross:
+        del min_speedup[name]
     results: List[Comparison] = []
     for name in sorted(set(baseline) | set(current) | set(min_speedup)):
         base = baseline.get(name)
@@ -105,6 +119,34 @@ def compare_artifacts(
             detail = "%.2fx vs floor %.2fx" % (ratio, 1.0 - threshold)
         results.append(Comparison(name, base_tp, cur_tp, ratio, required,
                                   ok, detail))
+    for name in sorted(cross):
+        required = cross[name]
+        cur_name, _, base_name = name.partition("/")
+        cur = current.get(cur_name)
+        base = baseline.get(base_name)
+        if base is None or cur is None:
+            missing = base_name if base is None else cur_name
+            side = "baseline" if base is None else "current run"
+            results.append(Comparison(
+                name=name,
+                baseline_mb_s=base["throughput_mb_s"] if base else None,
+                current_mb_s=cur["throughput_mb_s"] if cur else None,
+                ratio=None, required_speedup=required, ok=False,
+                detail="%s missing from %s but required by --min-speedup"
+                       % (missing, side),
+            ))
+            continue
+        base_tp = base["throughput_mb_s"]
+        cur_tp = cur["throughput_mb_s"]
+        ratio = cur_tp / base_tp if base_tp else None
+        if ratio is None:
+            results.append(Comparison(name, base_tp, cur_tp, None, required,
+                                      False, "baseline throughput is zero"))
+            continue
+        ok = ratio >= required
+        results.append(Comparison(
+            name, base_tp, cur_tp, ratio, required, ok,
+            "%.2fx vs required %.2fx" % (ratio, required)))
     return results
 
 

@@ -88,6 +88,20 @@ def add(name: str, value: Number = 1) -> None:
         recorder.add(name, value)
 
 
+def merge(counters: Dict[str, Number]) -> None:
+    """Merge a counter dict into the active recorder; no-op when off.
+
+    This is how worker-process telemetry reaches the parent: pipeline
+    workers run their stage under a local recorder, ship the counter
+    snapshot back with the stage result, and the parent merges it here —
+    so counters recorded inside ``"process"``/``"process-shm"`` workers
+    aggregate instead of dying with the worker.
+    """
+    recorder = _ACTIVE
+    if recorder is not None and counters:
+        recorder.merge(counters)
+
+
 @contextmanager
 def recording(recorder: Optional[PerfRecorder] = None) -> Iterator[PerfRecorder]:
     """Activate a recorder for the dynamic extent of the ``with`` block.

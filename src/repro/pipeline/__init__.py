@@ -20,13 +20,21 @@ from .cache import (
 )
 from .executor import (
     EXECUTORS,
+    PROCESS_EXECUTORS,
     RAW_REWRITE,
     BatchReport,
     DeltaPipeline,
+    PipelineConfig,
     PipelineJob,
     PipelineReport,
     PipelineResult,
     classify_failure,
+)
+from .shm import (
+    SegmentMapping,
+    SharedBufferArena,
+    SharedBufferDescriptor,
+    content_digest,
 )
 
 __all__ = [
@@ -38,10 +46,16 @@ __all__ = [
     "KIND_FINGERPRINTS",
     "KIND_FULL_INDEX",
     "KIND_SEED_TABLE",
+    "PROCESS_EXECUTORS",
+    "PipelineConfig",
     "PipelineJob",
     "PipelineReport",
     "PipelineResult",
     "RAW_REWRITE",
     "ReferenceIndexCache",
+    "SegmentMapping",
+    "SharedBufferArena",
+    "SharedBufferDescriptor",
     "classify_failure",
+    "content_digest",
 ]

@@ -115,6 +115,13 @@ class ReferenceIndexCache:
         """Content digest identifying a reference buffer."""
         return hashlib.sha1(bytes(reference)).hexdigest()
 
+    # Every getter below accepts an optional precomputed ``digest``:
+    # the shared-memory executor publishes each reference once and ships
+    # its digest in the buffer descriptor, so worker-side lookups key on
+    # segment identity instead of re-hashing a multi-megabyte reference
+    # per job.  A caller-supplied digest MUST equal
+    # ``self.digest(reference)`` for those bytes — the cache trusts it.
+
     # -- core get-or-build --------------------------------------------
 
     def _fetch(
@@ -153,9 +160,11 @@ class ReferenceIndexCache:
         *,
         seed_length: int = DEFAULT_SEED_LENGTH,
         max_candidates: int = 64,
+        digest: Optional[str] = None,
     ) -> FullSeedIndex:
         """The greedy algorithm's exhaustive seed index for ``reference``."""
-        key = (KIND_FULL_INDEX, self.digest(reference), seed_length, max_candidates)
+        key = (KIND_FULL_INDEX, digest or self.digest(reference),
+               seed_length, max_candidates)
         value, _hit = self._fetch(
             key,
             lambda: FullSeedIndex(reference, seed_length, max_candidates),
@@ -169,13 +178,15 @@ class ReferenceIndexCache:
         *,
         seed_length: int = DEFAULT_SEED_LENGTH,
         table_size: int = 1 << 16,
+        digest: Optional[str] = None,
     ) -> SeedTable:
         """The correcting algorithm's half-pass FCFS seed table.
 
         The returned table is shared: callers must only :meth:`lookup`,
         never insert or clear.
         """
-        key = (KIND_SEED_TABLE, self.digest(reference), seed_length, table_size)
+        key = (KIND_SEED_TABLE, digest or self.digest(reference),
+               seed_length, table_size)
 
         def build() -> SeedTable:
             return SeedTable.from_fingerprints(
@@ -194,6 +205,7 @@ class ReferenceIndexCache:
         reference: Buffer,
         *,
         seed_length: int = DEFAULT_SEED_LENGTH,
+        digest: Optional[str] = None,
     ) -> List[int]:
         """Rolling Karp-Rabin fingerprints of every reference seed.
 
@@ -202,7 +214,7 @@ class ReferenceIndexCache:
         at offset ``i`` — the one-pass algorithm's reference-side scan
         state, precomputed once.
         """
-        key = (KIND_FINGERPRINTS, self.digest(reference), seed_length)
+        key = (KIND_FINGERPRINTS, digest or self.digest(reference), seed_length)
         value, _hit = self._fetch(
             key,
             lambda: seed_fingerprints(reference, seed_length),
@@ -212,6 +224,35 @@ class ReferenceIndexCache:
 
     # -- algorithm-level helpers --------------------------------------
 
+    def artifact(
+        self,
+        algorithm: str,
+        reference: Buffer,
+        *,
+        seed_length: int = DEFAULT_SEED_LENGTH,
+        max_candidates: int = 64,
+        table_size: int = 1 << 16,
+        digest: Optional[str] = None,
+    ) -> object:
+        """Get-or-build the reference artifact ``algorithm`` consumes.
+
+        Returns the :class:`~repro.delta.rolling.FullSeedIndex`, the
+        :class:`~repro.delta.rolling.SeedTable`, or the fingerprint list
+        depending on the algorithm — the object its differ accepts as a
+        prebuilt artifact (``index=`` / ``table=`` / ``fingerprints=``).
+        Raises ``KeyError`` for algorithms with no cacheable state.
+        """
+        kind = ALGORITHM_KINDS[algorithm]
+        if kind == KIND_FULL_INDEX:
+            return self.full_index(reference, seed_length=seed_length,
+                                   max_candidates=max_candidates,
+                                   digest=digest)
+        if kind == KIND_SEED_TABLE:
+            return self.seed_table(reference, seed_length=seed_length,
+                                   table_size=table_size, digest=digest)
+        return self.fingerprints(reference, seed_length=seed_length,
+                                 digest=digest)
+
     def has(
         self,
         algorithm: str,
@@ -220,6 +261,7 @@ class ReferenceIndexCache:
         seed_length: int = DEFAULT_SEED_LENGTH,
         max_candidates: int = 64,
         table_size: int = 1 << 16,
+        digest: Optional[str] = None,
     ) -> bool:
         """True when the artifact ``algorithm`` needs is already cached.
 
@@ -230,7 +272,7 @@ class ReferenceIndexCache:
         kind = ALGORITHM_KINDS.get(algorithm)
         if kind is None:
             return False
-        digest = self.digest(reference)
+        digest = digest or self.digest(reference)
         if kind == KIND_FULL_INDEX:
             key = (kind, digest, seed_length, max_candidates)
         elif kind == KIND_SEED_TABLE:

@@ -8,7 +8,7 @@ differencing, in-place conversion, wire encoding — and returns a
 queue timings, the per-job cache outcome, and the converter's
 :class:`~repro.core.convert.ConversionReport`.
 
-Three executors:
+Four executors:
 
 * ``"serial"`` — inline, no pools; the baseline the benches compare
   against.
@@ -24,6 +24,28 @@ Three executors:
   :meth:`DeltaPipeline.run` calls; job payloads (reference and version
   bytes, then the resulting script) cross the process boundary by
   pickling.
+* ``"process-shm"`` — the process pool fed zero-copy: reference and
+  version buffers are published once into shared-memory segments (a
+  ref-counted :class:`~repro.pipeline.shm.SharedBufferArena`), workers
+  receive tiny ``(segment, offset, length, digest)`` descriptors and map
+  the bytes read-only via ``memoryview``, and the per-worker cache keys
+  on the descriptor's content digest — segment identity — so a batch of
+  N versions against one reference builds the index once per worker
+  instead of shipping and re-hashing the reference N times.  Segments
+  are released (and unlinked) in a ``finally`` at the end of every
+  batch and on :meth:`DeltaPipeline.close`, with an ``atexit`` sweep
+  behind both, so no ``/dev/shm`` segment survives the process even
+  under fault injection.
+
+Construction takes a :class:`PipelineConfig` (the stable API); the
+legacy keyword form ``DeltaPipeline(algorithm=..., executor=...)`` still
+works through a shim that emits :class:`DeprecationWarning`.
+
+Worker processes run their differencing under a local
+:class:`~repro.perf.PerfRecorder` and ship the counter snapshot back
+with the stage result; the parent merges it into whatever recorder its
+batch runs under, so ``repro.perf`` telemetry from ``"process"`` and
+``"process-shm"`` workers aggregates instead of being silently dropped.
 
 **Fault isolation.**  A batch of N jobs always yields N
 :class:`PipelineResult` objects: a job that fails — a raising differ, a
@@ -48,6 +70,7 @@ from __future__ import annotations
 import os
 import random
 import time
+import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
@@ -67,11 +90,32 @@ from ..delta import (
 from ..delta.varint import varint_size
 from ..exceptions import ReproError
 from ..faults import FaultPlan, describe_failure
-from .cache import ALGORITHM_KINDS, CacheStats, ReferenceIndexCache
+from .cache import (
+    ALGORITHM_KINDS,
+    KIND_FINGERPRINTS,
+    KIND_FULL_INDEX,
+    KIND_SEED_TABLE,
+    CacheStats,
+    ReferenceIndexCache,
+)
+from .shm import SegmentMapping, SharedBufferArena, SharedBufferDescriptor
 
 Buffer = Union[bytes, bytearray, memoryview]
 
-EXECUTORS = ("serial", "thread", "process")
+EXECUTORS = ("serial", "thread", "process", "process-shm")
+
+#: Executors whose differencing stage runs in worker *processes* (their
+#: caches live per worker; the parent cannot observe them directly).
+PROCESS_EXECUTORS = ("process", "process-shm")
+
+#: Differ keyword accepting a prebuilt reference artifact, per artifact
+#: kind — how the shared-memory path hands a digest-keyed cache artifact
+#: to the algorithm without re-hashing the reference.
+_ARTIFACT_KWARGS = {
+    KIND_FULL_INDEX: "index",
+    KIND_SEED_TABLE: "table",
+    KIND_FINGERPRINTS: "fingerprints",
+}
 
 #: Sentinel "algorithm" for the last link of a degradation chain: a
 #: full-rewrite delta (one add covering the whole version).  It needs no
@@ -277,9 +321,10 @@ def _diff_stage(
     submitted_at: float,
     plan: Optional[FaultPlan] = None,
     attempt: int = 1,
-) -> Tuple[DeltaScript, float, float, bool, float, List[str]]:
+    digest: Optional[str] = None,
+) -> Tuple[DeltaScript, float, float, bool, float, List[str], Dict[str, float]]:
     """Run differencing; returns
-    ``(script, queue_s, diff_s, cache_hit, submitted_at, faults)``.
+    ``(script, queue_s, diff_s, cache_hit, submitted_at, faults, counters)``.
 
     ``plan`` fault sites: ``diff.worker`` fails the attempt;
     ``cache.lookup`` degrades it to cache-less differencing (the fault is
@@ -287,6 +332,15 @@ def _diff_stage(
     job's 1-based diff call index — passed explicitly so fault decisions
     are identical whether this runs inline, in a thread, or in a worker
     process holding a pickled copy of the plan.
+
+    ``digest`` is the reference's precomputed content digest (shipped in
+    a shared-memory descriptor): when given, cache lookups key on it
+    directly and the cached artifact is passed to the differ prebuilt,
+    so the worker never re-hashes the reference bytes.
+
+    The trailing ``counters`` dict is empty when this runs in the parent
+    process (perf counters flow to the active recorder directly); the
+    process-pool entry points fill it with the worker-side snapshot.
     """
     if cache is None:
         cache = _PROCESS_CACHE
@@ -303,18 +357,28 @@ def _diff_stage(
         except ReproError as exc:
             faults.append(describe_failure(exc))
             cache = None  # degrade: diff without the shared index
-    if cache is not None and algorithm in ALGORITHM_KINDS:
+    use_cache = cache is not None and algorithm in ALGORITHM_KINDS
+    if use_cache:
         cache_hit = cache.has(
-            algorithm, job.reference, **_has_kwargs(algorithm, options)
+            algorithm, job.reference, digest=digest,
+            **_has_kwargs(algorithm, options)
         )
-        kwargs["cache"] = cache
+        if digest is None:
+            kwargs["cache"] = cache
     t0 = time.perf_counter()
+    if use_cache and digest is not None:
+        # Fetched inside the timed window so diff_seconds accounts the
+        # artifact build exactly like the cache-inside-the-differ path.
+        kwargs[_ARTIFACT_KWARGS[ALGORITHM_KINDS[algorithm]]] = cache.artifact(
+            algorithm, job.reference, digest=digest,
+            **_has_kwargs(algorithm, options)
+        )
     script = ALGORITHMS[algorithm](job.reference, job.version, **kwargs)
     diff_seconds = time.perf_counter() - t0
     perf.add("pipeline.diff.seconds", diff_seconds)
     perf.add("pipeline.diff.jobs")
     return (script, queue_seconds, diff_seconds, cache_hit,
-            submitted_at, faults)
+            submitted_at, faults, {})
 
 
 def _has_kwargs(algorithm: str, options: Dict[str, object]) -> Dict[str, object]:
@@ -323,11 +387,139 @@ def _has_kwargs(algorithm: str, options: Dict[str, object]) -> Dict[str, object]
     return {k: options[k] for k in keys if k in options}
 
 
-def _process_diff_stage(payload: Tuple) -> Tuple[DeltaScript, float, float, bool, float, List[str]]:
-    """Process-pool entry: unpack and run :func:`_diff_stage` with the
-    worker-global cache."""
+def _process_diff_stage(payload: Tuple) -> Tuple:
+    """Process-pool entry: run :func:`_diff_stage` with the worker-global
+    cache, capturing worker-side perf counters into the result."""
     job, algorithm, options, submitted_at, plan, attempt = payload
-    return _diff_stage(job, algorithm, options, None, submitted_at, plan, attempt)
+    recorder = perf.PerfRecorder()
+    with perf.recording(recorder):
+        out = _diff_stage(job, algorithm, options, None, submitted_at,
+                          plan, attempt)
+    return out[:6] + (recorder.counters,)
+
+
+# Worker-side zero-copy mappings of *reference* segments, keyed by
+# content digest.  Kept for the worker's lifetime: the cached reference
+# artifacts (e.g. a FullSeedIndex) hold views into these mappings, and
+# keying by digest lets a re-published identical reference (new segment
+# name, same bytes) reuse the existing mapping instead of re-attaching.
+# Version segments are mapped transiently per job and closed in the
+# entry point's ``finally``.
+_SHM_RETAINED: Dict[str, SegmentMapping] = {}
+
+
+def _retained_reference(descriptor: SharedBufferDescriptor) -> Buffer:
+    mapping = _SHM_RETAINED.get(descriptor.digest)
+    if mapping is None:
+        mapping = SegmentMapping(descriptor)
+        _SHM_RETAINED[descriptor.digest] = mapping
+    return mapping.buf
+
+
+def _shm_diff_stage(payload: Tuple) -> Tuple:
+    """Process-pool entry for ``"process-shm"``: map the job's buffers
+    zero-copy from their shared-memory descriptors and diff.
+
+    The descriptors replace the pickled buffers of ``"process"``; the
+    reference digest they carry keys the worker cache, so N versions
+    against one reference build the index once per worker.  The emitted
+    script carries only materialized ``bytes`` (the builders copy add
+    data), so it pickles back to the parent without referencing the
+    mapping.
+    """
+    (name, ref_desc, ver_desc, algorithm, options,
+     submitted_at, plan, attempt) = payload
+    recorder = perf.PerfRecorder()
+    with perf.recording(recorder):
+        reference = _retained_reference(ref_desc)
+        # The version is scanned byte-by-byte by the differ hot loops,
+        # which run measurably faster on bytes than on a memoryview —
+        # one memcpy out of the segment beats paying slice-object
+        # overhead across the whole scan.  The multi-megabyte buffer
+        # worth keeping zero-copy is the reference.
+        version_mapping = SegmentMapping(ver_desc)
+        try:
+            version = bytes(version_mapping.buf)
+        finally:
+            version_mapping.close()
+        job = PipelineJob(reference, version, name)
+        out = _diff_stage(job, algorithm, options, None, submitted_at,
+                          plan, attempt, digest=ref_desc.digest)
+    return out[:6] + (recorder.counters,)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """The full serving configuration of a :class:`DeltaPipeline`.
+
+    One frozen value object instead of nineteen keyword arguments: build
+    it once, validate it once, share it (``dataclasses.replace`` derives
+    variants), and hand it to ``DeltaPipeline(config)``.  Every field
+    mirrors a legacy constructor keyword; defaults are identical, so
+    ``PipelineConfig()`` reproduces ``DeltaPipeline()`` exactly.
+
+    * ``algorithm``/``policy``/``ordering``/``scratch_budget``/
+      ``varint_pricing`` — what to compute: the differencing algorithm
+      and the in-place conversion strategy.
+    * ``executor``/``diff_workers``/``convert_workers``/``cache``/
+      ``cache_bytes`` — where to compute it: pool shape and cache
+      budget (``diff_workers``/``convert_workers`` of ``None`` mean one
+      per CPU).
+    * ``diff_options`` — extra keywords forwarded to the differ.
+    * ``retries``/``fallback``/``stage_timeout``/``backoff_*``/
+      ``fault_plan``/``verify_outputs`` — the resilience plane (see
+      :class:`DeltaPipeline`).
+    """
+
+    algorithm: str = "correcting"
+    policy: str = "local-min"
+    ordering: str = "dfs"
+    scratch_budget: int = 0
+    varint_pricing: bool = True
+    executor: str = "thread"
+    diff_workers: Optional[int] = None
+    convert_workers: Optional[int] = None
+    cache: Optional[ReferenceIndexCache] = None
+    cache_bytes: int = 128 << 20
+    diff_options: Optional[Dict[str, object]] = None
+    retries: int = 0
+    fallback: Tuple[str, ...] = ()
+    stage_timeout: Optional[float] = None
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.25
+    backoff_max: float = 1.0
+    backoff_seed: int = 0
+    fault_plan: Optional[FaultPlan] = None
+    verify_outputs: bool = True
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any inconsistent field combination."""
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                "unknown algorithm %r; choose from %s"
+                % (self.algorithm, ", ".join(sorted(ALGORITHMS)))
+            )
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                "unknown executor %r; choose from %s"
+                % (self.executor, ", ".join(EXECUTORS))
+            )
+        if self.retries < 0:
+            raise ValueError(
+                "retries must be non-negative, got %d" % self.retries)
+        if self.stage_timeout is not None and self.stage_timeout <= 0:
+            raise ValueError("stage_timeout must be positive when set")
+        for name in tuple(self.fallback or ()):
+            if name != RAW_REWRITE and name not in ALGORITHMS:
+                raise ValueError(
+                    "unknown fallback %r; choose from %s or %r"
+                    % (name, ", ".join(sorted(ALGORITHMS)), RAW_REWRITE)
+                )
+
+    def chain(self) -> Tuple[str, ...]:
+        """The degradation chain: primary algorithm, then each fallback."""
+        return (self.algorithm,) + tuple(self.fallback or ())
 
 
 def _raw_rewrite_script(version: bytes) -> DeltaScript:
@@ -344,11 +536,15 @@ def _raw_rewrite_script(version: bytes) -> DeltaScript:
 class DeltaPipeline:
     """Fans batches of delta jobs across differencing/conversion pools.
 
-    Construction parameters fix the serving configuration (algorithm,
-    cycle policy, ordering, scratch budget, pricing, pool shape); each
-    :meth:`run` call processes one batch under it.  The pipeline owns
-    its pools and cache: reuse one instance across batches to keep the
-    cache warm, and close it (or use it as a context manager) when done.
+    Construction takes a :class:`PipelineConfig` fixing the serving
+    configuration (algorithm, cycle policy, ordering, scratch budget,
+    pricing, pool shape, resilience plane); each :meth:`run` call
+    processes one batch under it.  The legacy keyword form
+    ``DeltaPipeline(algorithm=..., executor=...)`` still works but
+    emits :class:`DeprecationWarning`.  The pipeline owns its pools,
+    cache and (for ``"process-shm"``) shared-memory arena: reuse one
+    instance across batches to keep the cache warm, and close it (or
+    use it as a context manager) when done.
 
     ``varint_pricing`` (default True) prices evictions with
     :func:`~repro.delta.varint.varint_size`, matching the varint wire
@@ -385,84 +581,59 @@ class DeltaPipeline:
     are quarantined into structured results, never raised.
     """
 
-    def __init__(
-        self,
-        *,
-        algorithm: str = "correcting",
-        policy: str = "local-min",
-        ordering: str = "dfs",
-        scratch_budget: int = 0,
-        varint_pricing: bool = True,
-        executor: str = "thread",
-        diff_workers: Optional[int] = None,
-        convert_workers: Optional[int] = None,
-        cache: Optional[ReferenceIndexCache] = None,
-        cache_bytes: int = 128 << 20,
-        diff_options: Optional[Dict[str, object]] = None,
-        retries: int = 0,
-        fallback: Optional[Sequence[str]] = None,
-        stage_timeout: Optional[float] = None,
-        backoff_base: float = 0.0,
-        backoff_factor: float = 2.0,
-        backoff_jitter: float = 0.25,
-        backoff_max: float = 1.0,
-        backoff_seed: int = 0,
-        fault_plan: Optional[FaultPlan] = None,
-        verify_outputs: bool = True,
-    ):
-        if algorithm not in ALGORITHMS:
-            raise ValueError(
-                "unknown algorithm %r; choose from %s"
-                % (algorithm, ", ".join(sorted(ALGORITHMS)))
+    def __init__(self, config: Optional[PipelineConfig] = None, **kwargs):
+        if config is not None and kwargs:
+            raise TypeError(
+                "pass either a PipelineConfig or legacy keyword arguments, "
+                "not both"
             )
-        if executor not in EXECUTORS:
-            raise ValueError(
-                "unknown executor %r; choose from %s"
-                % (executor, ", ".join(EXECUTORS))
-            )
-        if retries < 0:
-            raise ValueError("retries must be non-negative, got %d" % retries)
-        if stage_timeout is not None and stage_timeout <= 0:
-            raise ValueError("stage_timeout must be positive when set")
-        chain = [algorithm]
-        for name in tuple(fallback or ()):
-            if name != RAW_REWRITE and name not in ALGORITHMS:
-                raise ValueError(
-                    "unknown fallback %r; choose from %s or %r"
-                    % (name, ", ".join(sorted(ALGORITHMS)), RAW_REWRITE)
+        if config is None:
+            if kwargs:
+                warnings.warn(
+                    "DeltaPipeline(**kwargs) is deprecated; build a "
+                    "PipelineConfig and pass DeltaPipeline(config)",
+                    DeprecationWarning,
+                    stacklevel=2,
                 )
-            chain.append(name)
-        self.algorithm = algorithm
-        self.policy = policy
-        self.ordering = ordering
-        self.scratch_budget = scratch_budget
-        self.varint_pricing = varint_pricing
-        self.executor = executor
+                fallback = kwargs.pop("fallback", None)
+                if fallback is not None:
+                    kwargs["fallback"] = tuple(fallback)
+            config = PipelineConfig(**kwargs)
+        config.validate()
+        self.config = config
+        self.algorithm = config.algorithm
+        self.policy = config.policy
+        self.ordering = config.ordering
+        self.scratch_budget = config.scratch_budget
+        self.varint_pricing = config.varint_pricing
+        self.executor = config.executor
         cpus = os.cpu_count() or 1
-        self.diff_workers = diff_workers if diff_workers else max(1, cpus)
-        self.convert_workers = convert_workers if convert_workers else max(1, cpus)
-        self.cache_bytes = cache_bytes
-        self.cache = cache if cache is not None else ReferenceIndexCache(cache_bytes)
-        self.diff_options: Dict[str, object] = dict(diff_options or {})
-        self.retries = retries
-        self.fallback_chain: Tuple[str, ...] = tuple(chain[1:])
-        self._chain: Tuple[str, ...] = tuple(chain)
-        self.stage_timeout = stage_timeout
-        self.backoff_base = backoff_base
-        self.backoff_factor = backoff_factor
-        self.backoff_jitter = backoff_jitter
-        self.backoff_max = backoff_max
-        self._backoff_rng = random.Random(backoff_seed)
-        self.fault_plan = fault_plan
-        self.verify_outputs = verify_outputs
+        self.diff_workers = config.diff_workers or max(1, cpus)
+        self.convert_workers = config.convert_workers or max(1, cpus)
+        self.cache_bytes = config.cache_bytes
+        self.cache = (config.cache if config.cache is not None
+                      else ReferenceIndexCache(config.cache_bytes))
+        self.diff_options: Dict[str, object] = dict(config.diff_options or {})
+        self.retries = config.retries
+        self._chain: Tuple[str, ...] = config.chain()
+        self.fallback_chain: Tuple[str, ...] = self._chain[1:]
+        self.stage_timeout = config.stage_timeout
+        self.backoff_base = config.backoff_base
+        self.backoff_factor = config.backoff_factor
+        self.backoff_jitter = config.backoff_jitter
+        self.backoff_max = config.backoff_max
+        self._backoff_rng = random.Random(config.backoff_seed)
+        self.fault_plan = config.fault_plan
+        self.verify_outputs = config.verify_outputs
         self._diff_pool: Optional[Executor] = None
         self._convert_pool: Optional[ThreadPoolExecutor] = None
+        self._arena: Optional[SharedBufferArena] = None
 
     # -- pool lifecycle ------------------------------------------------
 
     def _pools(self) -> Tuple[Executor, ThreadPoolExecutor]:
         if self._diff_pool is None:
-            if self.executor == "process":
+            if self.executor in PROCESS_EXECUTORS:
                 self._diff_pool = ProcessPoolExecutor(
                     max_workers=self.diff_workers,
                     initializer=_process_initializer,
@@ -480,14 +651,23 @@ class DeltaPipeline:
             )
         return self._diff_pool, self._convert_pool
 
+    def _ensure_arena(self) -> SharedBufferArena:
+        if self._arena is None or self._arena.closed:
+            self._arena = SharedBufferArena()
+        return self._arena
+
     def close(self) -> None:
-        """Shut down the worker pools (idempotent)."""
+        """Shut down the worker pools and unlink any shared-memory
+        segments still published (idempotent)."""
         if self._diff_pool is not None:
             self._diff_pool.shutdown(wait=True)
             self._diff_pool = None
         if self._convert_pool is not None:
             self._convert_pool.shutdown(wait=True)
             self._convert_pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
     def __enter__(self) -> "DeltaPipeline":
         return self
@@ -501,8 +681,9 @@ class DeltaPipeline:
         """Pre-build the in-process cache for ``references``.
 
         Returns the number of references now covered.  Warms the shared
-        cache used by the serial and thread executors; process workers
-        warm their own caches on first contact with each reference.
+        cache used by the serial and thread executors; the process
+        executors' workers warm their own caches on first contact with
+        each reference, so warming here does not reach them.
         """
         count = 0
         params = _has_kwargs(self.algorithm, self.diff_options)
@@ -599,7 +780,7 @@ class DeltaPipeline:
             t0 = time.perf_counter()
             script = _raw_rewrite_script(job.version)
             return ("ok", (script, 0.0, time.perf_counter() - t0, False,
-                           submitted, []))
+                           submitted, [], {}))
         t0 = time.perf_counter()
         try:
             out = _diff_stage(job, algorithm, self.diff_options, self.cache,
@@ -658,7 +839,9 @@ class DeltaPipeline:
                                  % (job.name, algo, attempts, payload))
                     self._backoff(attempts)
                     continue
-                script, queue_s, diff_s, hit, submitted, stage_faults = payload
+                (script, queue_s, diff_s, hit, submitted, stage_faults,
+                 worker_counters) = payload
+                perf.merge(worker_counters)
                 for fault in stage_faults:
                     faults.append(fault)
                     trace.append("%s: cache bypassed: %s" % (job.name, fault))
@@ -725,6 +908,8 @@ class DeltaPipeline:
         batch = BatchReport()
         wall_start = time.perf_counter()
         pending: List = []
+        published: List[SharedBufferDescriptor] = []
+        arena: Optional[SharedBufferArena] = None
         try:
             if self.executor == "serial":
                 for job in jobs:
@@ -732,11 +917,29 @@ class DeltaPipeline:
                     batch.results.append(self._drive_job(job, first))
             else:
                 diff_pool, convert_pool = self._pools()
-                shared_cache = None if self.executor == "process" else self.cache
+                in_process = self.executor in PROCESS_EXECUTORS
+                shared_cache = None if in_process else self.cache
+                if self.executor == "process-shm":
+                    arena = self._ensure_arena()
                 first_futs = []
                 for job in jobs:
                     submitted = time.time()
-                    if self.executor == "process":
+                    if self.executor == "process-shm":
+                        # Publish once per distinct reference (the arena
+                        # dedupes by content digest and refcounts), once
+                        # per version; workers get tiny descriptors
+                        # instead of the pickled buffers.
+                        ref_desc = arena.publish(job.reference)
+                        published.append(ref_desc)
+                        ver_desc = arena.publish(job.version, dedupe=False)
+                        published.append(ver_desc)
+                        fut = diff_pool.submit(
+                            _shm_diff_stage,
+                            (job.name, ref_desc, ver_desc, self.algorithm,
+                             self.diff_options, submitted,
+                             self.fault_plan, 1),
+                        )
+                    elif self.executor == "process":
                         fut = diff_pool.submit(
                             _process_diff_stage,
                             (job, self.algorithm, self.diff_options,
@@ -768,9 +971,17 @@ class DeltaPipeline:
             # started so a subsequent close() cannot hang on it.
             for fut in pending:
                 fut.cancel()
+            # Drop every segment this batch published, whatever happened
+            # above — quarantines, timeouts and injected faults included.
+            # Workers only hold mappings, never names, so releasing to
+            # refcount zero unlinks the segment; nothing survives in
+            # /dev/shm past the batch.
+            if arena is not None:
+                for desc in published:
+                    arena.release(desc)
         batch.wall_seconds = time.perf_counter() - wall_start
         batch.cache_hits = sum(1 for r in batch.results if r.report.cache_hit)
-        if self.executor != "process":
+        if self.executor not in PROCESS_EXECUTORS:
             batch.cache_stats = self.cache.stats
         return batch
 

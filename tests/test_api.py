@@ -1,8 +1,32 @@
 """Tests for the top-level public API (repro/__init__.py)."""
 
+import re
+from pathlib import Path
+
 import pytest
 
 import repro
+import repro.pipeline
+
+DOCS_API = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+
+
+def _documented_names(section):
+    """Names from ``- `name` — ...`` bullets under ``## `section` ``."""
+    text = DOCS_API.read_text()
+    names = set()
+    in_section = False
+    for line in text.splitlines():
+        if line.startswith("## "):
+            in_section = line.strip() == "## `%s`" % section
+            continue
+        if in_section and line.startswith("- "):
+            # Names sit before the em-dash; wrapped description lines
+            # are ignored, so every exported name must appear on the
+            # bullet's first line.
+            head = line.split("—")[0]
+            names.update(re.findall(r"`([A-Za-z_][A-Za-z0-9_]*)`", head))
+    return names
 
 
 class TestDiff:
@@ -65,3 +89,32 @@ class TestSurface:
 
     def test_version(self):
         assert repro.__version__
+
+    def test_executor_registry(self):
+        assert repro.EXECUTORS == ("serial", "thread", "process",
+                                   "process-shm")
+        assert set(repro.pipeline.PROCESS_EXECUTORS) <= set(repro.EXECUTORS)
+
+
+class TestDocsMatchSurface:
+    """docs/API.md is the contract: it must list exactly ``__all__``."""
+
+    def test_top_level_surface_documented(self):
+        documented = _documented_names("repro")
+        exported = set(repro.__all__)
+        assert documented == exported, (
+            "undocumented: %s / stale docs: %s"
+            % (sorted(exported - documented), sorted(documented - exported))
+        )
+
+    def test_pipeline_surface_documented(self):
+        documented = _documented_names("repro.pipeline")
+        exported = set(repro.pipeline.__all__)
+        assert documented == exported, (
+            "undocumented: %s / stale docs: %s"
+            % (sorted(exported - documented), sorted(documented - exported))
+        )
+
+    def test_pipeline_exports_resolve(self):
+        for name in repro.pipeline.__all__:
+            assert hasattr(repro.pipeline, name), name

@@ -11,6 +11,7 @@ from repro.delta import FullSeedIndex, correcting_delta, greedy_delta, onepass_d
 from repro.pipeline import (
     BatchReport,
     DeltaPipeline,
+    PipelineConfig,
     PipelineJob,
     ReferenceIndexCache,
 )
@@ -183,8 +184,8 @@ class TestDeltaPipeline:
         reference, versions = batch_pair
         jobs = [PipelineJob(reference, v, "v%d" % i)
                 for i, v in enumerate(versions)]
-        with DeltaPipeline(executor=executor, diff_workers=3,
-                           convert_workers=3) as pipe:
+        with DeltaPipeline(PipelineConfig(executor=executor, diff_workers=3,
+                                          convert_workers=3)) as pipe:
             batch = pipe.run(jobs)
         self._check_batch(batch, reference, versions, executor)
 
@@ -192,8 +193,8 @@ class TestDeltaPipeline:
         reference, versions = batch_pair
         jobs = [PipelineJob(reference, v, "v%d" % i)
                 for i, v in enumerate(versions)]
-        with DeltaPipeline(executor="process", diff_workers=2,
-                           convert_workers=2) as pipe:
+        with DeltaPipeline(PipelineConfig(executor="process", diff_workers=2,
+                                          convert_workers=2)) as pipe:
             batch = pipe.run(jobs)
             self._check_batch(batch, reference, versions, "process")
             # The worker-local caches persist across run() calls, so a
@@ -205,7 +206,7 @@ class TestDeltaPipeline:
         reference, versions = batch_pair
         jobs = [PipelineJob(reference, v, "v%d" % i)
                 for i, v in enumerate(versions)]
-        with DeltaPipeline(algorithm="greedy", executor="thread") as pipe:
+        with DeltaPipeline(PipelineConfig(algorithm="greedy", executor="thread")) as pipe:
             assert pipe.warm([reference]) == 1
             batch = pipe.run(jobs)
         assert batch.cache_hits == len(jobs)
@@ -217,7 +218,7 @@ class TestDeltaPipeline:
         reference, versions = batch_pair
         jobs = [PipelineJob(reference, v, "v%d" % i)
                 for i, v in enumerate(versions)]
-        with DeltaPipeline(executor="serial") as pipe:
+        with DeltaPipeline(PipelineConfig(executor="serial")) as pipe:
             cold = pipe.run(jobs)
             warm = pipe.run(jobs)
         assert cold.cache_hits == len(jobs) - 1  # first job builds the table
@@ -227,7 +228,7 @@ class TestDeltaPipeline:
         reference, versions = batch_pair
         jobs = [PipelineJob(reference, v, "v%d" % i)
                 for i, v in enumerate(versions)]
-        with DeltaPipeline(algorithm="tichy", executor="serial") as pipe:
+        with DeltaPipeline(PipelineConfig(algorithm="tichy", executor="serial")) as pipe:
             batch = pipe.run(jobs)
         self._check_batch(batch, reference, versions, "serial")
         assert batch.cache_hits == 0
@@ -237,8 +238,8 @@ class TestDeltaPipeline:
         reference, versions = batch_pair
         jobs = [PipelineJob(reference, v, "v%d" % i)
                 for i, v in enumerate(versions)]
-        with DeltaPipeline(executor="serial", scratch_budget=256,
-                           ordering="locality") as pipe:
+        with DeltaPipeline(PipelineConfig(executor="serial", scratch_budget=256,
+                                          ordering="locality")) as pipe:
             batch = pipe.run(jobs)
         self._check_batch(batch, reference, versions, "serial")
         for result in batch.results:
@@ -246,7 +247,7 @@ class TestDeltaPipeline:
 
     def test_run_pairs_names_jobs(self, batch_pair):
         reference, versions = batch_pair
-        with DeltaPipeline(executor="serial") as pipe:
+        with DeltaPipeline(PipelineConfig(executor="serial")) as pipe:
             batch = pipe.run_pairs([(reference, v) for v in versions[:2]],
                                    names=["alpha", "beta"])
         assert [r.report.name for r in batch.results] == ["alpha", "beta"]
@@ -255,7 +256,7 @@ class TestDeltaPipeline:
         reference, versions = batch_pair
         jobs = [PipelineJob(reference, v, "v%d" % i)
                 for i, v in enumerate(versions)]
-        with DeltaPipeline(executor="serial") as pipe:
+        with DeltaPipeline(PipelineConfig(executor="serial")) as pipe:
             batch = pipe.run(jobs)
         assert batch.total_version_bytes == sum(map(len, versions))
         assert batch.total_delta_bytes == sum(
@@ -264,14 +265,14 @@ class TestDeltaPipeline:
 
     def test_invalid_algorithm_rejected(self):
         with pytest.raises(ValueError):
-            DeltaPipeline(algorithm="magic")
+            DeltaPipeline(PipelineConfig(algorithm="magic"))
 
     def test_invalid_executor_rejected(self):
         with pytest.raises(ValueError):
-            DeltaPipeline(executor="fibers")
+            DeltaPipeline(PipelineConfig(executor="fibers"))
 
     def test_empty_batch(self):
-        with DeltaPipeline(executor="serial") as pipe:
+        with DeltaPipeline(PipelineConfig(executor="serial")) as pipe:
             batch = pipe.run([])
         assert batch.jobs == 0
         assert batch.cache_hit_rate == 0.0
@@ -282,7 +283,64 @@ class TestDeltaPipeline:
         cache.warm("correcting", reference)
         jobs = [PipelineJob(reference, v, "v%d" % i)
                 for i, v in enumerate(versions)]
-        with DeltaPipeline(executor="thread", cache=cache) as pipe:
+        with DeltaPipeline(PipelineConfig(executor="thread", cache=cache)) as pipe:
             batch = pipe.run(jobs)
         assert batch.cache_hits == len(jobs)
         assert pipe.cache is cache
+
+class TestPipelineConfig:
+    """The consolidated configuration object and its deprecation shim."""
+
+    def test_defaults_reproduce_default_pipeline(self):
+        with DeltaPipeline(PipelineConfig()) as pipe:
+            assert pipe.algorithm == "correcting"
+            assert pipe.executor == "thread"
+            assert pipe.retries == 0
+            assert pipe.verify_outputs is True
+            assert pipe.config == PipelineConfig()
+
+    def test_chain_is_primary_plus_fallbacks(self):
+        config = PipelineConfig(algorithm="greedy",
+                                fallback=("onepass", "raw"))
+        assert config.chain() == ("greedy", "onepass", "raw")
+
+    def test_validate_rejects_bad_fields(self):
+        for bad in (PipelineConfig(algorithm="magic"),
+                    PipelineConfig(executor="fibers"),
+                    PipelineConfig(retries=-1),
+                    PipelineConfig(stage_timeout=0),
+                    PipelineConfig(fallback=("magic",))):
+            with pytest.raises(ValueError):
+                bad.validate()
+
+    def test_legacy_kwargs_warn_and_still_work(self, batch_pair):
+        reference, versions = batch_pair
+        jobs = [PipelineJob(reference, v, "v%d" % i)
+                for i, v in enumerate(versions)]
+        with pytest.warns(DeprecationWarning):
+            pipe = DeltaPipeline(algorithm="greedy", executor="serial",
+                                 retries=1, fallback=["raw"])
+        with pipe:
+            batch = pipe.run(jobs)
+        assert pipe.algorithm == "greedy"
+        assert pipe.fallback_chain == ("raw",)
+        assert pipe.config == PipelineConfig(algorithm="greedy",
+                                             executor="serial", retries=1,
+                                             fallback=("raw",))
+        assert batch.ok_jobs == len(jobs)
+
+    def test_config_and_kwargs_together_rejected(self):
+        with pytest.raises(TypeError):
+            DeltaPipeline(PipelineConfig(), algorithm="greedy")
+
+    def test_config_is_frozen_and_shareable(self, batch_pair):
+        import dataclasses
+        reference, versions = batch_pair
+        base = PipelineConfig(algorithm="greedy")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            base.algorithm = "onepass"
+        variant = dataclasses.replace(base, executor="serial")
+        jobs = [PipelineJob(reference, versions[0], "v0")]
+        for config in (base, variant):
+            with DeltaPipeline(config) as pipe:
+                assert pipe.run(jobs).ok_jobs == 1
