@@ -31,6 +31,7 @@ from .rolling import (
     FullSeedIndex,
     RollingHash,
     SeedTable,
+    SparseSeedIndex,
     fast_paths_enabled,
     hash_seed,
     iter_seed_hashes,
@@ -40,6 +41,7 @@ from .rolling import (
     match_length_reference,
     seed_fingerprints,
     seed_fingerprints_reference,
+    sparse_index_reference,
     use_fast_paths,
 )
 from .varint import decode_varint, encode_varint, varint_size
@@ -76,6 +78,7 @@ __all__ = [
     "ScriptBuilder",
     "SeedTable",
     "SealedReader",
+    "SparseSeedIndex",
     "SuffixAutomaton",
     "correcting_delta",
     "decode_delta",
@@ -94,6 +97,7 @@ __all__ = [
     "onepass_delta",
     "seed_fingerprints",
     "seed_fingerprints_reference",
+    "sparse_index_reference",
     "use_fast_paths",
     "is_sealed",
     "seal",

@@ -156,28 +156,72 @@ def seed_fingerprints(data, seed_length: int):
     return _mulmod(window, _powers(_BASE, n + 1)[seed_length:seed_length + count])
 
 
-def fcfs_slots(fingerprints, table_size: int) -> Tuple[List[int], int]:
+def fcfs_slots(fingerprints, table_size: int):
     """First-come-first-served slot assignment for a whole seed scan.
 
     Equivalent to inserting ``fingerprints[i] -> offset i`` in order into
     an empty :class:`~repro.delta.rolling.SeedTable` of ``table_size``
     slots: each slot keeps the offset of the *first* fingerprint that
-    hashed to it.  Returns ``(slots, occupied)`` where ``slots`` is a
-    dense list with ``-1`` for empty slots.
+    hashed to it.  Returns ``(slots, occupied, slots_array, slot_fps)``
+    where ``slots`` is a dense list with ``-1`` for empty slots,
+    ``slots_array`` the same data as an int64 array, and ``slot_fps``
+    the full 61-bit fingerprint stored in each occupied slot (zero for
+    empty ones) — the two arrays back :func:`probe_table`, the batch
+    probe the vectorized correcting scan uses.
 
     ``np.unique(..., return_index=True)`` sorts stably, so the reported
     index per unique slot is exactly the first-come winner.
     """
     fps = _np.asarray(fingerprints, dtype=_np.uint64)
     slots = _np.full(table_size, -1, dtype=_np.int64)
+    slot_fps = _np.zeros(table_size, dtype=_np.uint64)
     if len(fps):
         taken, first = _np.unique(fps % _np.uint64(table_size),
                                   return_index=True)
-        slots[taken.astype(_np.int64)] = first
+        taken = taken.astype(_np.int64)
+        slots[taken] = first
+        slot_fps[taken] = fps[first]
         occupied = int(len(taken))
     else:
         occupied = 0
-    return slots.tolist(), occupied
+    return slots.tolist(), occupied, slots, slot_fps
+
+
+def probe_table(slots_array, slot_fps, fingerprints):
+    """Batch-probe an FCFS table with every query fingerprint at once.
+
+    Returns ``(positions, candidates)``: the ascending query positions
+    whose slot is occupied by a fingerprint *equal* to the query, and
+    the stored offset for each.  Byte equality implies fingerprint
+    equality, so every position the scalar scan would byte-verify
+    successfully is in ``positions`` — the scan loop only has to visit
+    these (and re-verify the bytes, since equal 61-bit fingerprints can
+    still collide across distinct seeds).
+    """
+    fps = _np.asarray(fingerprints, dtype=_np.uint64)
+    idx = (fps % _np.uint64(len(slots_array))).astype(_np.int64)
+    cand = slots_array[idx]
+    hit = (cand >= 0) & (slot_fps[idx] == fps)
+    positions = _np.flatnonzero(hit)
+    return positions.tolist(), cand[positions].tolist()
+
+
+def scan_arrays(fingerprints, table_size: int):
+    """Per-position ``(slot, fingerprint)`` int64 arrays for a scan loop.
+
+    One vectorized modulo pass replaces the per-iteration ``fp % size``
+    of the scalar tandem scan.  Both arrays are ``int64``: fingerprints
+    are < 2**61 so the ``uint64`` kernel output reinterprets exactly,
+    and a signed dtype lets the scan use ``-1`` as an empty-slot
+    sentinel that can never equal a real fingerprint.
+    """
+    if isinstance(fingerprints, list):
+        fps = _np.array(fingerprints, dtype=_np.int64)
+    else:
+        fps = _np.asarray(fingerprints)
+        fps = fps.view(_np.int64) if fps.dtype == _np.uint64 \
+            else fps.astype(_np.int64)
+    return fps % _np.int64(table_size), fps
 
 
 class FingerprintGroups:
@@ -212,10 +256,16 @@ class FingerprintGroups:
     #: one-time flatten.
     _FLATTEN_AFTER = 1 << 15
 
-    def __init__(self, fingerprints, max_positions: int):
+    def __init__(self, fingerprints, max_positions: int,
+                 offset_scale: int = 1):
         fps = _np.asarray(fingerprints, dtype=_np.uint64)
         order = _np.argsort(fps, kind="stable").astype(_np.int64)
         ordered = fps[order]
+        if offset_scale != 1:
+            # Sampled fingerprints (every k-th seed): position i in the
+            # sampled array is buffer offset i*k, so scaling here lets
+            # lookups return real reference offsets directly.
+            order = order * _np.int64(offset_scale)
         if len(ordered):
             boundaries = _np.flatnonzero(ordered[1:] != ordered[:-1]) + 1
             starts = _np.concatenate(

@@ -18,9 +18,13 @@ compression approaches greedy quality while memory stays constant.
 
 Both passes ride the fast paths when available: the half pass is a bulk
 FCFS construction (:meth:`SeedTable.from_fingerprints`), and the full
-pass consumes a precomputed version-fingerprint list so its loop does
-only list indexing, slot probes, and slice-compare extension.  Output
-scripts are bit-identical to the scalar rolling scan.
+pass batch-probes the table with *every* version fingerprint in one
+vectorized pass (:func:`repro.delta._kernels.probe_table`) — the table
+stores the full fingerprint per occupied slot, and byte equality
+implies fingerprint equality, so the scan loop only visits the
+positions whose probe survives the fingerprint compare, byte-verifies
+those, and jumps between them.  Output scripts are bit-identical to the
+scalar rolling scan (``REPRO_NO_FAST=1``).
 """
 
 from __future__ import annotations
@@ -30,10 +34,13 @@ from typing import Union
 
 from .. import perf
 from ..core.commands import DeltaScript
+from . import _kernels as _k
 from .builder import ScriptBuilder
 from .rolling import (
     DEFAULT_SEED_LENGTH,
     SeedTable,
+    _seed_fingerprint_array,
+    fast_paths_enabled,
     match_length,
     match_length_backward,
     seed_fingerprints,
@@ -67,6 +74,8 @@ def correcting_delta(
     """
     if seed_length <= 0:
         raise ValueError("seed_length must be positive, got %d" % seed_length)
+    if table_size <= 0:
+        raise ValueError("table_size must be positive, got %d" % table_size)
     if table is not None and table.size != table_size:
         raise ValueError(
             "prebuilt table has size %d, call requested %d"
@@ -97,35 +106,67 @@ def correcting_delta(
     # Full pass: scan the version, correcting backwards on each match.
     # The table is read-only here (it may be a cache-shared instance);
     # its slot list is bound locally for probe speed.
-    fps_v = seed_fingerprints(version, seed_length)
-    slots = table._slots
-    size = table.size
     emit_copy = builder.emit_copy
     pos = 0
     last_v = len_v - seed_length
     copies = 0
     copy_bytes = 0
     corrected_bytes = 0
-    while pos <= last_v:
-        cand = slots[fps_v[pos] % size]
-        if cand >= 0 and \
-                reference[cand:cand + seed_length] == version[pos:pos + seed_length]:
-            forward = seed_length + match_length(
-                reference, cand + seed_length, version, pos + seed_length
-            )
-            # Correction: grow the match left over pending literal bytes,
-            # limited by the committed boundary and the reference start.
-            back = match_length_backward(
-                reference, cand, version, pos,
-                limit=min(cand, pos - builder.add_start),
-            )
-            emit_copy(cand - back, pos - back, back + forward)
-            copies += 1
-            copy_bytes += back + forward
-            corrected_bytes += back
-            pos += forward
-            continue
-        pos += 1
+    probe = table.probe_arrays() if fast_paths_enabled() and _k.HAVE_NUMPY \
+        else None
+    if probe is not None:
+        # Fast scan: one vectorized probe of every version position at
+        # once.  A position survives only when its slot is occupied by an
+        # *equal* fingerprint, and byte equality implies fingerprint
+        # equality, so the surviving positions are a superset of exactly
+        # the positions the scalar scan byte-verifies successfully —
+        # visiting only them (and re-verifying bytes, since equal
+        # fingerprints can still collide) emits the identical script.
+        fps_v = _seed_fingerprint_array(version, seed_length)
+        hits, cands = _k.probe_table(probe[0], probe[1], fps_v)
+        for p, cand in zip(hits, cands):
+            if p < pos:
+                continue  # inside an already-emitted copy
+            if reference[cand:cand + seed_length] == \
+                    version[p:p + seed_length]:
+                forward = seed_length + match_length(
+                    reference, cand + seed_length, version, p + seed_length
+                )
+                back = match_length_backward(
+                    reference, cand, version, p,
+                    limit=min(cand, p - builder.add_start),
+                )
+                emit_copy(cand - back, p - back, back + forward)
+                copies += 1
+                copy_bytes += back + forward
+                corrected_bytes += back
+                pos = p + forward
+    else:
+        fps_v = seed_fingerprints(version, seed_length)
+        slots = table._slots
+        size = table.size
+        while pos <= last_v:
+            cand = slots[fps_v[pos] % size]
+            if cand >= 0 and \
+                    reference[cand:cand + seed_length] == \
+                    version[pos:pos + seed_length]:
+                forward = seed_length + match_length(
+                    reference, cand + seed_length, version, pos + seed_length
+                )
+                # Correction: grow the match left over pending literal
+                # bytes, limited by the committed boundary and the
+                # reference start.
+                back = match_length_backward(
+                    reference, cand, version, pos,
+                    limit=min(cand, pos - builder.add_start),
+                )
+                emit_copy(cand - back, pos - back, back + forward)
+                copies += 1
+                copy_bytes += back + forward
+                corrected_bytes += back
+                pos += forward
+                continue
+            pos += 1
     script = builder.finish()
     if recorder is not None:
         _report(recorder, started, reference, version,

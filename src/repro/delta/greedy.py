@@ -35,8 +35,10 @@ from .rolling import (
     DEFAULT_SEED_LENGTH,
     FullSeedIndex,
     RollingHash,
+    SparseSeedIndex,
     _seed_fingerprint_array,
     match_length,
+    match_length_backward,
 )
 
 Buffer = Union[bytes, bytearray, memoryview]
@@ -48,7 +50,7 @@ def greedy_delta(
     *,
     seed_length: int = DEFAULT_SEED_LENGTH,
     max_candidates: int = 64,
-    index: Optional[FullSeedIndex] = None,
+    index: Optional[Union[FullSeedIndex, SparseSeedIndex]] = None,
     cache=None,
 ) -> DeltaScript:
     """Compute a delta script encoding ``version`` against ``reference``.
@@ -60,11 +62,21 @@ def greedy_delta(
 
     Index construction is the dominant cost when one reference serves
     many versions, so it can be amortized: pass ``index`` (a prebuilt
-    :class:`FullSeedIndex` over ``reference`` with matching
-    ``seed_length``) or ``cache`` (a
+    :class:`FullSeedIndex` or :class:`SparseSeedIndex` over
+    ``reference`` with matching ``seed_length``) or ``cache`` (a
     :class:`repro.pipeline.cache.ReferenceIndexCache`, consulted by
-    content digest).  Either way the output script is byte-identical to
-    the uncached call.
+    content digest; on multi-MiB references it serves the sparse tier —
+    see :meth:`~repro.pipeline.cache.ReferenceIndexCache.greedy_index`).
+    For a given index tier the output script is byte-identical to the
+    uncached call with that tier.
+
+    With a sparse index every verified match is additionally extended
+    *backwards* over pending literal bytes (the sampled tier can only
+    find a match starting at a sampled reference offset, so the true
+    common string usually begins earlier); with a full index an
+    exhaustive earlier scan position already claimed any such prefix,
+    so backward extension is skipped and the output stays exactly what
+    the classic greedy algorithm produces.
     """
     if seed_length <= 0:
         raise ValueError("seed_length must be positive, got %d" % seed_length)
@@ -89,14 +101,19 @@ def greedy_delta(
                 % (index.seed_length, seed_length)
             )
     elif cache is not None:
-        index = cache.full_index(reference, seed_length=seed_length,
-                                 max_candidates=max_candidates)
+        index = cache.greedy_index(reference, seed_length=seed_length,
+                                   max_candidates=max_candidates)
     else:
         index = FullSeedIndex(reference, seed_length, max_candidates)
 
+    # Sparse indexes sample the reference, so a found match may start
+    # mid-string; extending backwards over pending literals recovers the
+    # unsampled prefix.  Full indexes skip this (see the docstring).
+    correct_back = getattr(index, "stride", 1) > 1
     probes = 0
     copies = 0
     copy_bytes = 0
+    corrected_bytes = 0
     groups = getattr(index, "groups", None)
     fast = groups is not None
     if fast:
@@ -127,9 +144,16 @@ def greedy_delta(
                             best_len = length
                             best_src = cand
                     if best_len >= seed_length:
-                        emit_copy(best_src, pos, best_len)
+                        back = 0
+                        if correct_back:
+                            back = match_length_backward(
+                                reference, best_src, version, pos,
+                                limit=min(best_src, pos - builder.add_start),
+                            )
+                        emit_copy(best_src - back, pos - back, back + best_len)
                         copies += 1
-                        copy_bytes += best_len
+                        copy_bytes += back + best_len
+                        corrected_bytes += back
                         pos += best_len
                         continue
             pos += 1
@@ -147,9 +171,16 @@ def greedy_delta(
                     best_len = length
                     best_src = cand
             if best_len >= seed_length:
-                builder.emit_copy(best_src, pos, best_len)
+                back = 0
+                if correct_back:
+                    back = match_length_backward(
+                        reference, best_src, version, pos,
+                        limit=min(best_src, pos - builder.add_start),
+                    )
+                builder.emit_copy(best_src - back, pos - back, back + best_len)
                 copies += 1
-                copy_bytes += best_len
+                copy_bytes += back + best_len
+                corrected_bytes += back
                 pos += best_len
                 if pos + seed_length <= n:
                     fingerprint = roller.reset(version, pos)
@@ -160,12 +191,12 @@ def greedy_delta(
     script = builder.finish()
     if recorder is not None:
         _report(recorder, started, reference, version,
-                probes, copies, copy_bytes, fast)
+                probes, copies, copy_bytes, fast, corrected_bytes)
     return script
 
 
 def _report(recorder, started, reference, version,
-            probes, copies, copy_bytes, fast) -> None:
+            probes, copies, copy_bytes, fast, corrected_bytes=0) -> None:
     recorder.merge({
         "diff.greedy.calls": 1,
         "diff.greedy.seconds": perf_counter() - started,
@@ -174,5 +205,6 @@ def _report(recorder, started, reference, version,
         "diff.greedy.candidates_probed": probes,
         "diff.greedy.copies": copies,
         "diff.greedy.copy_bytes": copy_bytes,
+        "diff.greedy.corrected_bytes": corrected_bytes,
         "diff.greedy.fast_path": 1 if fast else 0,
     })

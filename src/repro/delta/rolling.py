@@ -190,10 +190,14 @@ class SeedTable:
 
     Storage is one flat list of slot offsets (``-1`` = empty) — the scan
     loops in the differs bind it locally and index it directly, which is
-    the fastest scalar access CPython offers.
+    the fastest scalar access CPython offers.  Tables built whole-buffer
+    under the fast paths additionally carry *probe arrays* (the slot
+    offsets as an int64 array plus the full fingerprint stored in each
+    slot), which let the correcting scan batch-probe every version
+    position in one vectorized pass; incremental mutation drops them.
     """
 
-    __slots__ = ("size", "_slots", "occupied")
+    __slots__ = ("size", "_slots", "occupied", "_slots_array", "_slot_fps")
 
     def __init__(self, size: int = 1 << 16):
         if size <= 0:
@@ -202,6 +206,8 @@ class SeedTable:
         self._slots: List[int] = [-1] * size
         #: Number of filled slots, exposed for load-factor diagnostics.
         self.occupied = 0
+        self._slots_array = None
+        self._slot_fps = None
 
     @classmethod
     def from_fingerprints(cls, fingerprints, size: int = 1 << 16) -> "SeedTable":
@@ -215,18 +221,32 @@ class SeedTable:
         """
         table = cls(size)
         if _FAST and _k.HAVE_NUMPY:
-            table._slots, table.occupied = _k.fcfs_slots(fingerprints, size)
+            (table._slots, table.occupied,
+             table._slots_array, table._slot_fps) = _k.fcfs_slots(
+                fingerprints, size)
             return table
         insert = table.insert
         for offset, fingerprint in enumerate(fingerprints):
             insert(fingerprint, offset)
         return table
 
+    def probe_arrays(self):
+        """``(slots_array, slot_fps)`` for batch probing, or ``None``.
+
+        Present only on tables built whole-buffer under the fast paths;
+        any mutation invalidates them.
+        """
+        if self._slots_array is None:
+            return None
+        return self._slots_array, self._slot_fps
+
     def insert(self, fingerprint: int, offset: int) -> bool:
         """Record ``offset`` for ``fingerprint`` unless its slot is taken.
 
         Returns True when the offset was stored.
         """
+        self._slots_array = None
+        self._slot_fps = None
         slot = fingerprint % self.size
         if self._slots[slot] < 0:
             self._slots[slot] = offset
@@ -243,6 +263,8 @@ class SeedTable:
         """Empty the table for reuse."""
         self._slots = [-1] * self.size
         self.occupied = 0
+        self._slots_array = None
+        self._slot_fps = None
 
 
 def full_index_reference(data: Buffer, seed_length: int = DEFAULT_SEED_LENGTH,
@@ -298,6 +320,82 @@ class FullSeedIndex:
 
     def candidates(self, fingerprint: int) -> List[int]:
         """All stored reference offsets whose seed has this fingerprint."""
+        if self.groups is not None:
+            return self.groups.lookup(fingerprint)
+        return self._index.get(fingerprint, [])
+
+    def __len__(self) -> int:
+        if self.groups is not None:
+            return self.groups.stored
+        return sum(len(v) for v in self._index.values())
+
+
+def sparse_index_reference(data: Buffer, seed_length: int = DEFAULT_SEED_LENGTH,
+                           stride: int = 16,
+                           max_positions: int = 64) -> Dict[int, List[int]]:
+    """Scalar oracle for :class:`SparseSeedIndex`: every k-th seed, by dict.
+
+    Identical to :func:`full_index_reference` restricted to offsets that
+    are multiples of ``stride`` — the sampled tier stores *real* buffer
+    offsets, so candidate lists plug into the greedy scan unchanged.
+    """
+    index: Dict[int, List[int]] = {}
+    for offset in range(0, len(data) - seed_length + 1, stride):
+        fingerprint = hash_seed(data, offset, seed_length)
+        bucket = index.setdefault(fingerprint, [])
+        if len(bucket) < max_positions:
+            bucket.append(offset)
+    return index
+
+
+class SparseSeedIndex:
+    """Sampled seed index: every ``stride``-th seed offset, by fingerprint.
+
+    The greedy algorithm's memory-bounded tier.  A :class:`FullSeedIndex`
+    stores every seed position and prices linear in the reference — a
+    multi-MiB reference prices over any reasonable cache budget, so the
+    pipeline used to rebuild a >128MB index per job and thrash the LRU.
+    Sampling every ``stride``-th seed divides the footprint by ``stride``
+    while keeping candidate *offsets* exact (samples are real positions,
+    not quantized anchors), so the scan still extends matches at byte
+    granularity in both directions.
+
+    The trade is coverage, not correctness: a common string shorter than
+    ``seed_length + stride - 1`` can slip between samples, and a found
+    match may start mid-string — which is why the greedy scan pairs a
+    sparse index with backward extension
+    (:func:`match_length_backward`), recovering the unsampled prefix the
+    same way the correcting algorithm recovers provisional literals.
+
+    Same two bit-identical forms as the full index: flat
+    :class:`~repro.delta._kernels.FingerprintGroups` (with offsets
+    pre-scaled by ``stride``) under the fast paths, a dict of capped
+    offset lists otherwise.
+    """
+
+    def __init__(self, data: Buffer, seed_length: int = DEFAULT_SEED_LENGTH,
+                 max_positions: int = 64, stride: int = 16):
+        if stride <= 0:
+            raise ValueError("stride must be positive, got %d" % stride)
+        self.seed_length = seed_length
+        self.data = data
+        self.max_positions = max_positions
+        self.stride = stride
+        #: Flat-array grouping (fast paths), or None on the dict path.
+        self.groups = None
+        self._index: Optional[Dict[int, List[int]]] = None
+        with perf.timer("index.sparse.build"):
+            if _FAST and _k.HAVE_NUMPY:
+                fps = _k.seed_fingerprints(data, seed_length)[::stride]
+                self.groups = _k.FingerprintGroups(fps, max_positions,
+                                                   offset_scale=stride)
+            else:
+                self._index = sparse_index_reference(data, seed_length,
+                                                     stride, max_positions)
+        perf.add("index.sparse.positions", len(self))
+
+    def candidates(self, fingerprint: int) -> List[int]:
+        """Stored (sampled) reference offsets whose seed has this fingerprint."""
         if self.groups is not None:
             return self.groups.lookup(fingerprint)
         return self._index.get(fingerprint, [])

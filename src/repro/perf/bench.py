@@ -116,7 +116,15 @@ def _diff_op(name_suffix: str, algorithm: str, reference, version,
     def oracle(script) -> bool:
         previous = use_fast_paths(False)
         try:
-            expected = differ(reference, version)
+            # Mirror the measured call's cache configuration: the cache
+            # budget decides the greedy index *tier* (full vs sparse),
+            # so the scalar re-run must make the same tier choice or the
+            # comparison is between two different algorithms' outputs.
+            okwargs = {}
+            if cache is not None:
+                okwargs["cache"] = ReferenceIndexCache(
+                    max_bytes=cache.max_bytes)
+            expected = differ(reference, version, **okwargs)
         finally:
             use_fast_paths(previous)
         return encode_delta(script) == encode_delta(expected) and \
@@ -141,7 +149,7 @@ def build_suite(quick: bool) -> List[BenchOp]:
     large = "1536k"
     ops.append(_diff_op(large, "greedy", reference, version, quick=True))
     ops.append(_diff_op(large, "correcting", reference, version, quick=True))
-    ops.append(_diff_op(large, "onepass", reference, version, quick=False))
+    ops.append(_diff_op(large, "onepass", reference, version, quick=True))
 
     # Differencing with a warm reference cache: the batch-serving shape,
     # where one reference index serves many versions.
@@ -215,6 +223,15 @@ def build_suite(quick: bool) -> List[BenchOp]:
     ops.append(_pipeline_op("process", jobs, "256k", quick=False))
     ops.append(_pipeline_op("process-shm", jobs, "256k", quick=False))
 
+    # Greedy over the sparse index tier: the 1.5 MiB reference's full
+    # greedy index prices over the cache's budget share, so the cache
+    # serves the retained SparseSeedIndex instead of rebuilding a full
+    # index per job (the cache-thrash footgun this op gates).
+    sparse_jobs = _pipeline_jobs(reference, count=8, version_bytes=32_768)
+    ops.append(_pipeline_op("thread", sparse_jobs, large, quick=True,
+                            algorithm="greedy",
+                            name="pipeline_greedy_sparse_" + large))
+
     if quick:
         return [op for op in ops if op.quick]
     return ops
@@ -240,18 +257,20 @@ def _pipeline_jobs(reference: bytes, count: int,
 
 
 def _pipeline_op(executor: str, jobs: List[PipelineJob], size_label: str,
-                 quick: bool) -> BenchOp:
+                 quick: bool, algorithm: str = "correcting",
+                 name: Optional[str] = None) -> BenchOp:
     """One batch through a persistent pipeline on ``executor``.
 
     The pipeline (and so its process pool and per-worker caches) lives
     for the whole bench: the untimed warmup run absorbs pool spawn and
     cache fill, and the timed repeats measure the steady serving state —
     where the executors differ purely in how job buffers reach the
-    workers.  The oracle re-runs the batch serially and requires
+    workers.  The oracle re-runs the batch serially (same algorithm and
+    default cache budget, so the same greedy index tier) and requires
     byte-identical payloads.
     """
     pipe = DeltaPipeline(PipelineConfig(
-        algorithm="correcting", executor=executor,
+        algorithm=algorithm, executor=executor,
         diff_workers=2, convert_workers=2,
     ))
     total_version_bytes = sum(len(j.version) for j in jobs)
@@ -263,13 +282,14 @@ def _pipeline_op(executor: str, jobs: List[PipelineJob], size_label: str,
         if batch.ok_jobs != len(jobs):
             return False
         with DeltaPipeline(PipelineConfig(
-                algorithm="correcting", executor="serial")) as serial:
+                algorithm=algorithm, executor="serial")) as serial:
             expected = serial.run(jobs)
         return [r.payload for r in batch.results] == \
             [r.payload for r in expected.results]
 
     return BenchOp(
-        name="pipeline_%s_%s" % (executor.replace("-", "_"), size_label),
+        name=name or "pipeline_%s_%s" % (executor.replace("-", "_"),
+                                         size_label),
         op="pipeline.%s" % executor,
         run=run,
         input_bytes={"reference": len(jobs[0].reference),

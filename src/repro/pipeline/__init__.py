@@ -15,6 +15,7 @@ from .cache import (
     KIND_FINGERPRINTS,
     KIND_FULL_INDEX,
     KIND_SEED_TABLE,
+    KIND_SPARSE_INDEX,
     CacheStats,
     ReferenceIndexCache,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "KIND_FINGERPRINTS",
     "KIND_FULL_INDEX",
     "KIND_SEED_TABLE",
+    "KIND_SPARSE_INDEX",
     "PROCESS_EXECUTORS",
     "PipelineConfig",
     "PipelineJob",

@@ -33,19 +33,24 @@ from ..delta.rolling import (
     DEFAULT_SEED_LENGTH,
     FullSeedIndex,
     SeedTable,
+    SparseSeedIndex,
     seed_fingerprints,
 )
 
 Buffer = Union[bytes, bytearray, memoryview]
 
-#: Cached artifact kinds, one per differencing algorithm family.
+#: Cached artifact kinds, one per differencing algorithm family (plus
+#: the greedy family's sampled tier, see :meth:`ReferenceIndexCache.greedy_index`).
 KIND_FULL_INDEX = "full-index"
+KIND_SPARSE_INDEX = "sparse-index"
 KIND_SEED_TABLE = "seed-table"
 KIND_FINGERPRINTS = "fingerprints"
 
 #: Differencing algorithm name -> the reference artifact it consumes.
 #: Algorithms absent here (e.g. ``tichy``) build no reusable
-#: reference-side state and bypass the cache.
+#: reference-side state and bypass the cache.  ``"greedy"`` maps to the
+#: full-index *family*: the cache serves either the full or the sparse
+#: tier depending on how the reference prices against the budget.
 ALGORITHM_KINDS: Dict[str, str] = {
     "greedy": KIND_FULL_INDEX,
     "correcting": KIND_SEED_TABLE,
@@ -60,6 +65,12 @@ _POSITION_BYTES = 120
 _FINGERPRINT_BYTES = 36
 _SLOT_BYTES = 8
 _STORED_OFFSET_BYTES = 28
+
+#: Fraction of the cache budget one greedy index may claim before the
+#: cache degrades it to the sparse tier.  Half the budget leaves room
+#: for the other algorithms' artifacts (and a second reference) beside
+#: the index, so serving greedy never monopolizes the LRU.
+_GREEDY_INDEX_BUDGET_FRACTION = 0.5
 
 
 @dataclass
@@ -92,9 +103,10 @@ class ReferenceIndexCache:
     artifacts (plus the reference bytes an artifact keeps alive).  An
     artifact larger than the whole budget is built and returned but not
     retained.  All methods are safe to call from multiple threads;
-    artifact construction runs under the cache lock, which costs nothing
-    extra in CPython (the builds are GIL-bound) and guarantees each
-    artifact is built at most once.
+    artifact construction runs under a *per-key* lock — a multi-second
+    index build never blocks another thread's unrelated hit or build —
+    while the double-checked key lock still guarantees each artifact is
+    built at most once.
     """
 
     def __init__(self, max_bytes: int = 128 << 20):
@@ -103,6 +115,7 @@ class ReferenceIndexCache:
         self.max_bytes = max_bytes
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple, Tuple[object, int]]" = OrderedDict()
+        self._build_locks: Dict[tuple, threading.Lock] = {}
         self._bytes = 0
         self._hits = 0
         self._misses = 0
@@ -112,8 +125,17 @@ class ReferenceIndexCache:
 
     @staticmethod
     def digest(reference: Buffer) -> str:
-        """Content digest identifying a reference buffer."""
-        return hashlib.sha1(bytes(reference)).hexdigest()
+        """Content digest identifying a reference buffer.
+
+        Hashes through a ``memoryview``, so ``bytearray`` and
+        ``memoryview`` references (e.g. shared-memory mappings) are
+        digested zero-copy instead of being materialized as an
+        intermediate ``bytes`` the size of the reference.
+        """
+        view = memoryview(reference)
+        if not view.c_contiguous:  # sha1 needs a contiguous buffer
+            view = memoryview(bytes(view))
+        return hashlib.sha1(view).hexdigest()
 
     # Every getter below accepts an optional precomputed ``digest``:
     # the shared-memory executor publishes each reference once and ships
@@ -124,32 +146,62 @@ class ReferenceIndexCache:
 
     # -- core get-or-build --------------------------------------------
 
+    def _lookup(self, key: tuple):
+        """Under ``self._lock``: the cached entry for ``key``, counted
+        as a hit and moved to the LRU tail, or ``None``."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self._hits += 1
+            perf.add("cache.reference.hits")
+        return entry
+
     def _fetch(
         self,
         key: tuple,
         build: Callable[[], object],
         estimate: Callable[[object], int],
     ) -> Tuple[object, bool]:
-        """Return ``(artifact, was_hit)``, building and inserting on miss."""
+        """Return ``(artifact, was_hit)``, building and inserting on miss.
+
+        Builds run under a per-key lock, not the global cache lock:
+        concurrent fetches of *different* keys build in parallel (well,
+        as parallel as the GIL allows — what matters is that a hit on an
+        unrelated key returns immediately instead of queueing behind a
+        multi-second index build), while concurrent fetches of the
+        *same* key serialize on its key lock and all but the first find
+        the entry at the double-check, preserving build-at-most-once.
+        """
         with self._lock:
-            entry = self._entries.get(key)
+            entry = self._lookup(key)
             if entry is not None:
-                self._entries.move_to_end(key)
-                self._hits += 1
-                perf.add("cache.reference.hits")
                 return entry[0], True
-            self._misses += 1
-            perf.add("cache.reference.misses")
-            value = build()
-            nbytes = estimate(value)
-            if nbytes <= self.max_bytes:
-                self._entries[key] = (value, nbytes)
-                self._bytes += nbytes
-                while self._bytes > self.max_bytes:
-                    _old_key, (_old_value, old_bytes) = self._entries.popitem(last=False)
-                    self._bytes -= old_bytes
-                    self._evictions += 1
-                    perf.add("cache.reference.evictions")
+            build_lock = self._build_locks.get(key)
+            if build_lock is None:
+                build_lock = self._build_locks[key] = threading.Lock()
+        with build_lock:
+            with self._lock:
+                entry = self._lookup(key)
+                if entry is not None:
+                    return entry[0], True
+                self._misses += 1
+                perf.add("cache.reference.misses")
+            try:
+                value = build()
+                nbytes = estimate(value)
+                with self._lock:
+                    if nbytes <= self.max_bytes:
+                        self._entries[key] = (value, nbytes)
+                        self._bytes += nbytes
+                        while self._bytes > self.max_bytes:
+                            _old_key, (_old_value, old_bytes) = \
+                                self._entries.popitem(last=False)
+                            self._bytes -= old_bytes
+                            self._evictions += 1
+                            perf.add("cache.reference.evictions")
+            finally:
+                with self._lock:
+                    self._build_locks.pop(key, None)
             return value, False
 
     # -- artifact getters ---------------------------------------------
@@ -162,12 +214,81 @@ class ReferenceIndexCache:
         max_candidates: int = 64,
         digest: Optional[str] = None,
     ) -> FullSeedIndex:
-        """The greedy algorithm's exhaustive seed index for ``reference``."""
+        """The greedy algorithm's exhaustive seed index for ``reference``.
+
+        Always the full tier, regardless of how it prices; most callers
+        want :meth:`greedy_index`, which degrades to the sparse tier
+        when the full index would not fit the budget.
+        """
         key = (KIND_FULL_INDEX, digest or self.digest(reference),
                seed_length, max_candidates)
         value, _hit = self._fetch(
             key,
             lambda: FullSeedIndex(reference, seed_length, max_candidates),
+            lambda idx: len(reference) + _POSITION_BYTES * len(idx),
+        )
+        return value
+
+    def greedy_stride(
+        self,
+        reference_len: int,
+        *,
+        seed_length: int = DEFAULT_SEED_LENGTH,
+    ) -> int:
+        """The sampling stride the greedy tiers use for this reference.
+
+        ``1`` means the full index fits its share of the budget
+        (:data:`_GREEDY_INDEX_BUDGET_FRACTION`); otherwise the smallest
+        ``k`` whose every-k-th-seed :class:`SparseSeedIndex` prices
+        within that share.  Deterministic in ``(reference_len,
+        seed_length, max_bytes)``, so every thread and worker process
+        picks the same tier for the same reference.
+        """
+        positions = reference_len - seed_length + 1
+        if positions <= 0:
+            return 1
+        budget = int(self.max_bytes * _GREEDY_INDEX_BUDGET_FRACTION)
+        full_cost = _POSITION_BYTES * positions
+        if reference_len + full_cost <= budget:
+            return 1
+        budget -= reference_len
+        if budget <= 0:
+            # The reference alone outweighs the index's budget share;
+            # sample maximally so at least the artifact stays bounded.
+            return positions
+        return min(-(-full_cost // budget), positions)
+
+    def greedy_index(
+        self,
+        reference: Buffer,
+        *,
+        seed_length: int = DEFAULT_SEED_LENGTH,
+        max_candidates: int = 64,
+        digest: Optional[str] = None,
+    ) -> Union[FullSeedIndex, SparseSeedIndex]:
+        """The greedy index tier that fits the budget for ``reference``.
+
+        Small references get the exhaustive :class:`FullSeedIndex`; a
+        reference whose full index would price over the cache's share of
+        the budget (the old behaviour: built anyway, never retained, so
+        every pipeline job rebuilt a >100MB index and thrashed the LRU)
+        gets an every-k-th-seed :class:`SparseSeedIndex` with ``k`` from
+        :meth:`greedy_stride` — sparse enough to be retained, so warm
+        jobs skip construction entirely.  ``greedy_delta`` accepts
+        either tier; with the sparse tier it compensates for sampling by
+        extending verified matches backwards.
+        """
+        stride = self.greedy_stride(len(reference), seed_length=seed_length)
+        if stride == 1:
+            return self.full_index(reference, seed_length=seed_length,
+                                   max_candidates=max_candidates,
+                                   digest=digest)
+        key = (KIND_SPARSE_INDEX, digest or self.digest(reference),
+               seed_length, max_candidates, stride)
+        value, _hit = self._fetch(
+            key,
+            lambda: SparseSeedIndex(reference, seed_length, max_candidates,
+                                    stride=stride),
             lambda idx: len(reference) + _POSITION_BYTES * len(idx),
         )
         return value
@@ -236,7 +357,10 @@ class ReferenceIndexCache:
     ) -> object:
         """Get-or-build the reference artifact ``algorithm`` consumes.
 
-        Returns the :class:`~repro.delta.rolling.FullSeedIndex`, the
+        Returns the greedy index tier (a
+        :class:`~repro.delta.rolling.FullSeedIndex` or
+        :class:`~repro.delta.rolling.SparseSeedIndex`, see
+        :meth:`greedy_index`), the
         :class:`~repro.delta.rolling.SeedTable`, or the fingerprint list
         depending on the algorithm — the object its differ accepts as a
         prebuilt artifact (``index=`` / ``table=`` / ``fingerprints=``).
@@ -244,9 +368,9 @@ class ReferenceIndexCache:
         """
         kind = ALGORITHM_KINDS[algorithm]
         if kind == KIND_FULL_INDEX:
-            return self.full_index(reference, seed_length=seed_length,
-                                   max_candidates=max_candidates,
-                                   digest=digest)
+            return self.greedy_index(reference, seed_length=seed_length,
+                                     max_candidates=max_candidates,
+                                     digest=digest)
         if kind == KIND_SEED_TABLE:
             return self.seed_table(reference, seed_length=seed_length,
                                    table_size=table_size, digest=digest)
@@ -274,7 +398,15 @@ class ReferenceIndexCache:
             return False
         digest = digest or self.digest(reference)
         if kind == KIND_FULL_INDEX:
-            key = (kind, digest, seed_length, max_candidates)
+            # Same tier decision greedy_index makes, so the answer
+            # matches the key an artifact fetch would use.
+            stride = self.greedy_stride(len(reference),
+                                        seed_length=seed_length)
+            if stride == 1:
+                key = (kind, digest, seed_length, max_candidates)
+            else:
+                key = (KIND_SPARSE_INDEX, digest, seed_length,
+                       max_candidates, stride)
         elif kind == KIND_SEED_TABLE:
             key = (kind, digest, seed_length, table_size)
         else:
@@ -300,8 +432,8 @@ class ReferenceIndexCache:
         if kind is None:
             return False
         if kind == KIND_FULL_INDEX:
-            self.full_index(reference, seed_length=seed_length,
-                            max_candidates=max_candidates)
+            self.greedy_index(reference, seed_length=seed_length,
+                              max_candidates=max_candidates)
         elif kind == KIND_SEED_TABLE:
             self.seed_table(reference, seed_length=seed_length,
                             table_size=table_size)

@@ -95,6 +95,7 @@ from .cache import (
     KIND_FINGERPRINTS,
     KIND_FULL_INDEX,
     KIND_SEED_TABLE,
+    KIND_SPARSE_INDEX,
     CacheStats,
     ReferenceIndexCache,
 )
@@ -110,9 +111,12 @@ PROCESS_EXECUTORS = ("process", "process-shm")
 
 #: Differ keyword accepting a prebuilt reference artifact, per artifact
 #: kind — how the shared-memory path hands a digest-keyed cache artifact
-#: to the algorithm without re-hashing the reference.
+#: to the algorithm without re-hashing the reference.  Both greedy index
+#: tiers (``ReferenceIndexCache.greedy_index`` picks full vs sparse by
+#: how the reference prices) travel through the same ``index=`` keyword.
 _ARTIFACT_KWARGS = {
     KIND_FULL_INDEX: "index",
+    KIND_SPARSE_INDEX: "index",
     KIND_SEED_TABLE: "table",
     KIND_FINGERPRINTS: "fingerprints",
 }

@@ -62,9 +62,14 @@ def content_digest(data: Buffer) -> str:
 
     Deliberately the same function as
     :meth:`repro.pipeline.cache.ReferenceIndexCache.digest`, so a
-    descriptor's digest keys the worker-side cache directly.
+    descriptor's digest keys the worker-side cache directly.  Hashes
+    through a ``memoryview``: publishing a multi-megabyte buffer must
+    not materialize a second copy just to fingerprint it.
     """
-    return hashlib.sha1(bytes(data)).hexdigest()
+    view = memoryview(data)
+    if not view.c_contiguous:  # sha1 needs a contiguous buffer
+        view = memoryview(bytes(view))
+    return hashlib.sha1(view).hexdigest()
 
 
 @dataclass(frozen=True)

@@ -128,6 +128,12 @@ class TestOnepassSpecifics:
         assert apply_delta(script, ref) == ver
         assert script.copied_bytes >= 700
 
+    @pytest.mark.parametrize("table_size", [0, -1, -64])
+    def test_invalid_table_size_rejected(self, rng, table_size):
+        ref = rng.randbytes(100)
+        with pytest.raises(ValueError):
+            onepass_delta(ref, mutate(ref, rng), table_size=table_size)
+
     def test_misses_transposition_that_greedy_finds(self, rng):
         # The documented compression trade of the one-pass algorithm:
         # after both cursors pass a region, matches into it are lost.
@@ -160,6 +166,12 @@ class TestCorrectingSpecifics:
         ver = mutate(ref, rng)
         script = correcting_delta(ref, ver, table_size=64)
         assert apply_delta(script, ref) == ver
+
+    @pytest.mark.parametrize("table_size", [0, -1, -64])
+    def test_invalid_table_size_rejected(self, rng, table_size):
+        ref = rng.randbytes(100)
+        with pytest.raises(ValueError):
+            correcting_delta(ref, mutate(ref, rng), table_size=table_size)
 
     def test_compression_close_to_greedy_on_edits(self, rng):
         ref = rng.randbytes(6000)

@@ -7,7 +7,13 @@ import pytest
 
 import repro
 from repro.core.convert import ConversionReport
-from repro.delta import FullSeedIndex, correcting_delta, greedy_delta, onepass_delta
+from repro.delta import (
+    FullSeedIndex,
+    SparseSeedIndex,
+    correcting_delta,
+    greedy_delta,
+    onepass_delta,
+)
 from repro.pipeline import (
     BatchReport,
     DeltaPipeline,
@@ -130,6 +136,66 @@ class TestReferenceIndexCache:
         assert cache.stats.misses == 1
         assert all(r is results[0] for r in results)
 
+    def test_builds_of_distinct_keys_run_concurrently(self, rng, monkeypatch):
+        # Two builds for different keys must overlap: each build blocks
+        # on a barrier that only releases when BOTH builds are inside
+        # their build function at once.  Under a single global build
+        # lock this times out and raises BrokenBarrierError.
+        import repro.pipeline.cache as cache_mod
+        barrier = threading.Barrier(2, timeout=10)
+        real = cache_mod.seed_fingerprints
+
+        def gated(data, seed_length):
+            barrier.wait()
+            return real(data, seed_length)
+
+        monkeypatch.setattr(cache_mod, "seed_fingerprints", gated)
+        cache = ReferenceIndexCache()
+        errors = []
+
+        def fetch(buf):
+            try:
+                cache.fingerprints(buf)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fetch, args=(rng.randbytes(1_000),))
+                   for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.stats.misses == 2
+
+    def test_digest_hashes_through_memoryview(self, rng, monkeypatch):
+        # The digest must hash the buffer zero-copy: sha1 receives a
+        # memoryview of the original buffer, never a materialized copy.
+        import repro.pipeline.cache as cache_mod
+        data = rng.randbytes(4_096)
+        seen = []
+        real = cache_mod.hashlib.sha1
+
+        def spy(buf):
+            seen.append(buf)
+            return real(buf)
+
+        monkeypatch.setattr(cache_mod.hashlib, "sha1", spy)
+        for buf in (data, bytearray(data), memoryview(data)):
+            assert ReferenceIndexCache.digest(buf) == real(data).hexdigest()
+        assert len(seen) == 3
+        for view, original in zip(seen, (data, bytearray(data))):
+            assert isinstance(view, memoryview)
+        assert seen[1].obj is not data  # bytearray hashed in place ...
+        assert isinstance(seen[1].obj, bytearray)  # ... not copied to bytes
+
+    def test_digest_copies_only_non_contiguous_views(self, rng):
+        data = rng.randbytes(2_048)
+        strided = memoryview(data)[::2]
+        assert not strided.c_contiguous
+        assert ReferenceIndexCache.digest(strided) == \
+            ReferenceIndexCache.digest(bytes(strided))
+
 
 class TestCachedDiffers:
     """A shared cache must never change differencing output."""
@@ -158,6 +224,79 @@ class TestCachedDiffers:
         index = FullSeedIndex(reference, 8, 64)
         with pytest.raises(ValueError):
             greedy_delta(reference, version, seed_length=16, index=index)
+
+
+class TestSparseGreedyTier:
+    """The cache's sampled greedy tier for over-budget references."""
+
+    def test_stride_one_when_full_index_fits(self):
+        cache = ReferenceIndexCache()  # default 128 MB budget
+        assert cache.greedy_stride(8_000) == 1
+
+    def test_stride_grows_with_reference(self):
+        cache = ReferenceIndexCache()
+        stride = cache.greedy_stride(12 << 20)
+        assert stride > 1
+        # A tighter budget forces sparser sampling.
+        tighter = ReferenceIndexCache(max_bytes=64 << 20)
+        assert tighter.greedy_stride(12 << 20) > stride
+
+    def test_greedy_index_degrades_to_sparse_tier(self, rng):
+        cache = ReferenceIndexCache(max_bytes=100_000)
+        reference = rng.randbytes(20_000)
+        index = cache.greedy_index(reference)
+        assert isinstance(index, SparseSeedIndex)
+        assert index.stride == cache.greedy_stride(len(reference))
+        # Sparse enough to be retained: the point of the tier.
+        assert cache.stats.evictions == 0
+        assert cache.greedy_index(reference) is index
+        assert cache.stats.hits == 1
+
+    def test_has_and_warm_track_the_sparse_tier(self, rng):
+        cache = ReferenceIndexCache(max_bytes=100_000)
+        reference = rng.randbytes(20_000)
+        assert not cache.has("greedy", reference)
+        assert cache.warm("greedy", reference)
+        assert cache.has("greedy", reference)
+        assert isinstance(cache.greedy_index(reference), SparseSeedIndex)
+
+    def test_greedy_over_sparse_cache_round_trips(self, rng):
+        cache = ReferenceIndexCache(max_bytes=100_000)
+        reference = rng.randbytes(20_000)
+        for _ in range(3):
+            version = mutate(reference, rng)
+            script = greedy_delta(reference, version, cache=cache)
+            assert repro.apply_delta(script, reference) == version
+        assert cache.stats.misses == 1
+        assert cache.stats.evictions == 0
+
+    def test_multi_mib_greedy_pipeline_runs_warm(self, rng):
+        # The footgun this tier fixes: greedy over a 12 MiB reference
+        # used to price its full index over the default budget, so every
+        # job rebuilt a >1 GB-estimated index and thrashed the LRU.  Now
+        # the sparse tier is built once, retained, and every later job
+        # (and batch) is a cache hit with zero evictions.
+        pytest.importorskip("numpy")
+        reference = rng.randbytes(12 << 20)
+        versions = [
+            mutate(reference[base:base + 16_384], rng)
+            for base in (0, 5 << 20, 10 << 20)
+        ]
+        jobs = [PipelineJob(reference, v, "v%d" % i)
+                for i, v in enumerate(versions)]
+        with DeltaPipeline(PipelineConfig(algorithm="greedy",
+                                          executor="serial")) as pipe:
+            cold = pipe.run(jobs)
+            warm = pipe.run(jobs)
+            stats = pipe.cache.stats
+        assert cold.cache_hits == len(jobs) - 1
+        assert warm.cache_hits == len(jobs)
+        assert stats.misses == 1
+        assert stats.evictions == 0
+        for batch in (cold, warm):
+            for result, version in zip(batch.results, versions):
+                buf = bytearray(reference)
+                assert bytes(repro.patch_in_place(buf, result.payload)) == version
 
 
 class TestDeltaPipeline:

@@ -25,6 +25,7 @@ import random
 
 import pytest
 
+from repro.core.apply import apply_delta
 from repro.delta import _kernels
 from repro.delta import (
     correcting_delta,
@@ -36,6 +37,7 @@ from repro.delta.rolling import (
     DEFAULT_SEED_LENGTH,
     FullSeedIndex,
     SeedTable,
+    SparseSeedIndex,
     full_index_reference,
     fast_paths_enabled,
     match_length,
@@ -44,6 +46,7 @@ from repro.delta.rolling import (
     match_length_reference,
     seed_fingerprints,
     seed_fingerprints_reference,
+    sparse_index_reference,
     use_fast_paths,
 )
 
@@ -244,6 +247,113 @@ def test_groups_lookup_after_flatten_threshold(fast_on, monkeypatch):
 
 
 # ---------------------------------------------------------------------------
+# SparseSeedIndex vs the dict oracle
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+@pytest.mark.parametrize("label,data", INPUTS, ids=[l for l, _ in INPUTS])
+@pytest.mark.parametrize("stride", [1, 3, 16, 101])
+@pytest.mark.parametrize("max_positions", [1, 64])
+def test_sparse_index_matches_reference(label, data, stride, max_positions,
+                                        fast_on):
+    index = SparseSeedIndex(data, DEFAULT_SEED_LENGTH,
+                            max_positions=max_positions, stride=stride)
+    oracle = sparse_index_reference(data, DEFAULT_SEED_LENGTH,
+                                    stride=stride,
+                                    max_positions=max_positions)
+    assert len(index) == sum(len(v) for v in oracle.values())
+    for fingerprint, offsets in oracle.items():
+        assert index.candidates(fingerprint) == offsets
+    absent = max(oracle, default=0) + 1
+    assert index.candidates(absent) == []
+
+
+@needs_numpy
+@pytest.mark.parametrize("stride", [2, 7, 16])
+def test_sparse_index_build_identical_fast_vs_scalar(stride):
+    data = random.Random(0x5EED).randbytes(6000)
+    previous = use_fast_paths(True)
+    try:
+        fast = SparseSeedIndex(data, stride=stride)
+        use_fast_paths(False)
+        slow = SparseSeedIndex(data, stride=stride)
+    finally:
+        use_fast_paths(previous)
+    fps = seed_fingerprints_reference(data, DEFAULT_SEED_LENGTH)
+    for fingerprint in set(fps[::stride]) | {fps[1] if len(fps) > 1 else 0}:
+        assert fast.candidates(fingerprint) == slow.candidates(fingerprint)
+
+
+def test_sparse_index_rejects_bad_stride():
+    with pytest.raises(ValueError):
+        SparseSeedIndex(b"x" * 64, stride=0)
+
+
+@needs_numpy
+@pytest.mark.parametrize("stride", [3, 29])
+def test_greedy_over_sparse_index_identical_fast_vs_scalar(stride):
+    rng = random.Random(0xDE17A)
+    reference = rng.randbytes(20000)
+    version = bytearray(reference)
+    for _ in range(10):
+        at = rng.randrange(len(version) - 128)
+        version[at:at + rng.randrange(1, 128)] = \
+            rng.randbytes(rng.randrange(1, 128))
+    version = bytes(version)
+    previous = use_fast_paths(True)
+    try:
+        fast = greedy_delta(
+            reference, version,
+            index=SparseSeedIndex(reference, stride=stride))
+        use_fast_paths(False)
+        slow = greedy_delta(
+            reference, version,
+            index=SparseSeedIndex(reference, stride=stride))
+    finally:
+        use_fast_paths(previous)
+    assert encode_delta(fast) == encode_delta(slow)
+    assert apply_delta(fast, reference) == version
+
+
+# ---------------------------------------------------------------------------
+# Seed-table probe kernels (the correcting/onepass scan building blocks)
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+@pytest.mark.parametrize("label,data", INPUTS, ids=[l for l, _ in INPUTS])
+@pytest.mark.parametrize("size", [7, 64, 1 << 10])
+def test_probe_table_matches_scalar_probe(label, data, size, fast_on):
+    """probe_table returns exactly the scalar occupied-and-equal hits."""
+    fingerprints = seed_fingerprints_reference(data, DEFAULT_SEED_LENGTH)
+    table = SeedTable.from_fingerprints(fingerprints, size)
+    arrays = table.probe_arrays()
+    if not fingerprints:
+        return
+    assert arrays is not None
+    slots_array, slot_fps = arrays
+    queries = fingerprints + [f + 1 for f in fingerprints[:32]]
+    hits, cands = _kernels.probe_table(slots_array, slot_fps, queries)
+    expected = []
+    for position, fingerprint in enumerate(queries):
+        stored = table._slots[fingerprint % size]
+        if stored >= 0 and fingerprints[stored] == fingerprint:
+            expected.append((position, stored))
+    assert list(zip(hits, cands)) == expected
+
+
+@needs_numpy
+def test_scan_arrays_slots_and_fingerprints():
+    data = random.Random(17).randbytes(3000)
+    fingerprints = seed_fingerprints_reference(data, DEFAULT_SEED_LENGTH)
+    for source in (fingerprints,
+                   _kernels.seed_fingerprints(data, DEFAULT_SEED_LENGTH)):
+        for size in (7, 64, 1 << 16):
+            slots, fps = _kernels.scan_arrays(source, size)
+            assert fps.tolist() == fingerprints
+            assert slots.tolist() == [f % size for f in fingerprints]
+
+
+# ---------------------------------------------------------------------------
 # Whole differs: fast on == fast off, byte for byte
 # ---------------------------------------------------------------------------
 
@@ -280,6 +390,64 @@ def test_differ_output_identical_fast_vs_reference(differ, label, reference,
     finally:
         use_fast_paths(previous)
     assert encode_delta(fast) == encode_delta(slow)
+
+
+def _mutated(rng, base, mutator):
+    """Apply one named adversarial mutator to ``base``."""
+    version = bytearray(base)
+    if mutator == "edits":
+        for _ in range(8):
+            at = rng.randrange(max(1, len(version) - 64))
+            version[at:at + rng.randrange(1, 64)] = \
+                rng.randbytes(rng.randrange(0, 64))
+    elif mutator == "transpose":
+        third = len(version) // 3
+        version = version[third:2 * third] + version[:third] + \
+            version[2 * third:]
+    elif mutator == "prepend":
+        version = bytearray(rng.randbytes(rng.randrange(1, 500))) + version
+    elif mutator == "truncate":
+        version = version[:max(1, len(version) // 2)]
+    elif mutator == "zero_inject":
+        at = rng.randrange(max(1, len(version)))
+        version[at:at] = b"\x00" * rng.randrange(64, 512)
+    return bytes(version)
+
+
+MUTATORS = ["edits", "transpose", "prepend", "truncate", "zero_inject"]
+
+
+@pytest.mark.parametrize("differ", [greedy_delta, onepass_delta,
+                                    correcting_delta],
+                         ids=["greedy", "onepass", "correcting"])
+@pytest.mark.parametrize("mutator", MUTATORS)
+def test_differ_fuzz_identical_across_params(differ, mutator):
+    """Property fuzz: fast == scalar across seed lengths and table sizes.
+
+    Small tables force dense slot collisions (the onepass/correcting
+    fast scans' hardest case: every position probes an occupied slot);
+    large tables exercise the sparse-event path.  Every script must
+    also reconstruct the version exactly.
+    """
+    rng = random.Random(0xFA57 + MUTATORS.index(mutator))
+    for trial in range(3):
+        reference = _mutated(rng, rng.randbytes(rng.randrange(2000, 25000)),
+                             "edits")
+        version = _mutated(rng, reference, mutator)
+        seed_length = rng.choice([4, DEFAULT_SEED_LENGTH, 32])
+        kwargs = {"seed_length": seed_length}
+        if differ is not greedy_delta:
+            kwargs["table_size"] = rng.choice([5, 64, 1 << 10, 1 << 16])
+        previous = use_fast_paths(True)
+        try:
+            fast = differ(reference, version, **kwargs)
+            use_fast_paths(False)
+            slow = differ(reference, version, **kwargs)
+        finally:
+            use_fast_paths(previous)
+        assert encode_delta(fast) == encode_delta(slow), \
+            (mutator, trial, seed_length, kwargs)
+        assert apply_delta(fast, reference) == version
 
 
 def test_use_fast_paths_round_trips():
