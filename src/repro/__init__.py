@@ -25,7 +25,17 @@ from __future__ import annotations
 
 from typing import Union
 
-from . import analysis, bundle, core, delta, device, exceptions, pipeline, workloads
+from . import (
+    analysis,
+    bundle,
+    core,
+    delta,
+    device,
+    exceptions,
+    fleet,
+    pipeline,
+    workloads,
+)
 from .core import (
     AddCommand,
     FillCommand,
@@ -185,6 +195,7 @@ __all__ = [
     "encode_delta",
     "encoded_size",
     "exceptions",
+    "fleet",
     "greedy_delta",
     "is_in_place_safe",
     "make_in_place",

@@ -16,6 +16,9 @@ Subcommands mirror the library's pipeline:
 * ``report``   — regenerate the paper's headline evaluation in one shot
 * ``pipeline`` — batch-encode many versions against one reference with
   the cached, pooled :class:`~repro.pipeline.DeltaPipeline`
+  (``--json`` writes the machine-readable batch summary)
+* ``campaign`` — simulate a fleet-wide rollout through the journaled
+  updater under fault injection, emitting a JSON report artifact
 
 Exit status is 0 on success, 1 on a library error (bad input files,
 unsafe delta, ...), 2 on usage errors (argparse's convention).
@@ -25,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import io
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -428,6 +432,13 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         % (batch.ok_jobs, len(batch.retried), len(batch.fallbacks),
            len(batch.quarantined), batch.fault_events, batch.verified)
     )
+    if args.json:
+        # The repro.pipeline.batch/1 summary — the same schema the
+        # fleet campaign embeds for its encode phase.
+        with open(args.json, "w") as fh:
+            json.dump(batch.summary(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % args.json)
     if batch.quarantined:
         for result in batch.results:
             if not result.ok:
@@ -437,6 +448,79 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
                          result.report.failure), file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .fleet import RolloutPolicy, make_fleet, make_release_train, run_campaign
+
+    packages = tuple(p for p in args.packages.split(",") if p)
+    train = make_release_train(packages, releases=args.releases,
+                               size=args.size, seed=args.seed)
+    fleet = make_fleet(args.devices, train, seed=args.seed,
+                       max_skip=args.max_skip)
+    fault_plan = None
+    if args.fault_plan:
+        fault_plan = FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
+    try:
+        stages = tuple(float(s) for s in args.stages.split(",") if s)
+    except ValueError:
+        raise ValueError("--stages must be comma-separated fractions, "
+                         "got %r" % args.stages) from None
+    policy = RolloutPolicy(
+        stages=stages,
+        abort_threshold=args.abort_threshold,
+        retry_budget=args.retry_budget,
+        encode=args.encode,
+        max_retries=args.retries,
+        max_boots=args.max_boots,
+    )
+    report = run_campaign(
+        train, fleet, policy=policy, fault_plan=fault_plan,
+        seed=args.seed, executor=args.executor, workers=args.workers,
+        algorithm=args.algorithm,
+    )
+    counters = report.counters
+    bandwidth = report.bandwidth
+    latency = report.latency
+    rows = [["stage", "fraction", "devices", "updated", "quarantined",
+             "aborted"]]
+    for stage in report.stages:
+        rows.append([str(stage.stage), "%.0f%%" % (100 * stage.fraction),
+                     str(stage.devices), str(stage.updated),
+                     str(stage.quarantined),
+                     "yes" if stage.aborted else "no"])
+    print(render_table(rows))
+    print(
+        "campaign: %d devices -> %d updated, %d quarantined, %d deferred "
+        "(%d sessions, %d transmissions, %d power cuts, %d faults) "
+        "in %.1fs"
+        % (counters["devices"], counters["updated"],
+           counters["quarantined"], counters["deferred"],
+           counters["sessions"], counters["attempts"],
+           counters["power_cuts"], counters["fault_events"],
+           report.wall_seconds)
+    )
+    print(
+        "bandwidth: %s shipped vs %s full images (%.1f%% saved); "
+        "latency p50 %.2fs p99 %.2fs"
+        % (format_bytes(bandwidth["delta_bytes_sent"]),
+           format_bytes(bandwidth["full_image_bytes"]),
+           100.0 * bandwidth["savings_ratio"],
+           latency["p50_seconds"], latency["p99_seconds"])
+    )
+    silent = report.silent_failures()
+    if silent:
+        print("SILENT FAILURES (protocol violation): %s"
+              % ", ".join(silent[:10]), file=sys.stderr)
+    for quarantine in report.quarantines[:args.show_quarantines]:
+        print("quarantined (%s, stage %d): %s: %s"
+              % (quarantine["kind"], quarantine["stage"],
+                 quarantine["device"], quarantine["reason"]),
+              file=sys.stderr)
+    if args.out:
+        report.write(args.out, include_devices=args.include_devices)
+        print("wrote %s" % args.out)
+    return 1 if silent else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -611,7 +695,67 @@ def build_parser() -> argparse.ArgumentParser:
                    "an overrun counts as a failed attempt")
     p.add_argument("--backoff", type=float, default=0.0, metavar="SECONDS",
                    help="base of the exponential retry backoff (default 0)")
+    p.add_argument("--json", default="", metavar="FILE",
+                   help="also write the machine-readable batch summary "
+                        "(schema repro.pipeline.batch/1) to FILE")
     p.set_defaults(func=_cmd_pipeline)
+
+    p = sub.add_parser(
+        "campaign",
+        help="simulate a fleet-wide update campaign under fault injection",
+    )
+    p.add_argument("--devices", type=int, default=1000, metavar="N",
+                   help="fleet size (default %(default)s)")
+    p.add_argument("--packages", default="app,kernel", metavar="NAMES",
+                   help="comma-separated package names "
+                        "(default %(default)s)")
+    p.add_argument("--releases", type=int, default=4, metavar="N",
+                   help="releases per package (default %(default)s)")
+    p.add_argument("--size", type=int, default=16384, metavar="BYTES",
+                   help="image size per release (default %(default)s)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fleet/release-train/rollout seed (default 0)")
+    p.add_argument("--max-skip", type=int, default=0, metavar="N",
+                   help="cap how many releases a device may be behind "
+                        "(0 = full chain)")
+    p.add_argument("--executor", choices=["serial", "thread", "process"],
+                   default="serial")
+    p.add_argument("--workers", type=int, default=None, metavar="N")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                   default="correcting")
+    p.add_argument("--encode", choices=["compose", "direct"],
+                   default="compose",
+                   help="stale-cohort payloads: 'compose' collapses the "
+                        "per-hop deltas, 'direct' re-diffs endpoints "
+                        "through the pipeline (default %(default)s)")
+    p.add_argument("--stages", default="0.01,0.10,1.0", metavar="FRACTIONS",
+                   help="staged-rollout fleet fractions "
+                        "(default %(default)s)")
+    p.add_argument("--abort-threshold", type=float, default=0.25,
+                   metavar="RATE", help="stage quarantine rate that aborts "
+                   "the rollout (default %(default)s)")
+    p.add_argument("--retry-budget", type=int, default=1, metavar="N",
+                   help="extra full sessions per transiently-failing "
+                        "device (default %(default)s)")
+    p.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="transmission attempts per session "
+                        "(default %(default)s)")
+    p.add_argument("--max-boots", type=int, default=16, metavar="N",
+                   help="boot budget per session (default %(default)s)")
+    p.add_argument("--fault-plan", default="", metavar="SPECS",
+                   help="deterministic fault injection, e.g. "
+                        "'device.power:p=0.05:fuel=4096;"
+                        "delta.bitflip:p=0.02'")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--out", default="", metavar="FILE",
+                   help="write the JSON report artifact "
+                        "(schema repro.fleet.campaign/1)")
+    p.add_argument("--include-devices", action="store_true",
+                   help="embed every per-device outcome in --out "
+                        "(large for big fleets)")
+    p.add_argument("--show-quarantines", type=int, default=10, metavar="N",
+                   help="quarantine reasons to print (default %(default)s)")
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("bench", help="run the performance suite and write "
                        "BENCH_*.json artifacts")

@@ -21,6 +21,7 @@ from .updater import (
     JournaledUpdateOutcome,
     UpdateOutcome,
     UpdateServer,
+    run_journaled_session,
     run_journaled_update,
     run_update,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "full_reprogram",
     "measure_update_wear",
     "get_channel",
+    "run_journaled_session",
     "run_journaled_update",
     "run_update",
 ]

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..core.apply import preflight_in_place, storage_crc32
+from ..core.compose import compose_chain
 from ..core.convert import make_in_place
 from ..delta import ALGORITHMS
 from ..delta.encode import (
@@ -56,7 +57,7 @@ from ..exceptions import (
     TransmissionError,
     VerificationError,
 )
-from ..faults import FaultPlan, describe_failure
+from ..faults import FaultPlan, describe_failure, jitter_draw
 from .channel import Channel, Delivery
 from .journal import CrashingStorage, Journal, JournaledApplier, PowerFailureError
 from .memory import ConstrainedDevice
@@ -65,11 +66,22 @@ STRATEGIES = ("full", "delta", "in-place", "in-place-stream")
 
 
 def _sleep_backoff(attempt: int, base: float, factor: float,
-                   cap: float = 5.0) -> None:
-    """Exponential backoff before retry ``attempt + 1`` (no-op at base 0)."""
+                   cap: float = 5.0, jitter: float = 0.0,
+                   seed: int = 0, scope: str = "") -> None:
+    """Exponential backoff before retry ``attempt + 1`` (no-op at base 0).
+
+    ``jitter`` adds up to that fraction of the delay again, drawn via
+    :func:`repro.faults.jitter_draw` from ``(seed, scope, attempt)`` —
+    never from process-global randomness — so a session's retry timing
+    is byte-reproducible from its fault seed no matter which executor
+    (or machine) replays it.
+    """
     if base <= 0.0:
         return
-    time.sleep(min(cap, base * (factor ** (attempt - 1))))
+    delay = min(cap, base * (factor ** (attempt - 1)))
+    if jitter > 0.0:
+        delay += delay * jitter * jitter_draw(seed, scope, attempt)
+    time.sleep(delay)
 
 
 @dataclass
@@ -150,6 +162,38 @@ class UpdateServer:
         raise ValueError(
             "unknown strategy %r; choose from %s" % (strategy, ", ".join(STRATEGIES))
         )
+
+    def build_chain_payload(self, package: str, have: int, want: int) -> bytes:
+        """One coalesced in-place payload for a device ``want - have``
+        releases behind.
+
+        Instead of re-differencing release ``have`` against ``want``
+        directly, the per-hop deltas the server already computes for
+        up-to-date devices are collapsed with
+        :func:`repro.core.compose.compose_chain` and the *composed*
+        script is converted for in-place application.  This is the
+        "coalesced re-encode" rollout policy: one composition per stale
+        cohort, no O(versions²) diff matrix.
+        """
+        if want <= have:
+            raise ValueError(
+                "chain payload needs want > have, got %d -> %d" % (have, want)
+            )
+        hops = []
+        for step in range(have, want):
+            old = self.release(package, step)
+            new = self.release(package, step + 1)
+            hops.append(ALGORITHMS[self.algorithm](old, new))
+        composed = compose_chain(hops) if len(hops) > 1 else hops[0]
+        old = self.release(package, have)
+        new = self.release(package, want)
+        converted = make_in_place(composed, old, policy=self.policy,
+                                  scratch_budget=self.scratch_budget)
+        wrap = seal if self.transport_compress else (lambda p: p)
+        return wrap(encode_delta(
+            converted.script, FORMAT_INPLACE,
+            version_crc32=version_checksum(new), reference=old,
+        ))
 
 
 def run_update(
@@ -289,43 +333,45 @@ class JournaledUpdateOutcome:
     faults: List[str] = field(default_factory=list)
 
 
-def run_journaled_update(
-    server: UpdateServer,
-    channel: Channel,
-    package: str,
+def run_journaled_session(
+    payload: bytes,
+    reference: bytes,
+    expected: Optional[bytes],
     *,
-    have: int,
-    want: Optional[int] = None,
+    channel: Channel,
+    scope: str = "update",
     max_retries: int = 3,
     max_boots: int = 16,
     rng: Optional[random.Random] = None,
     fault_plan: Optional[FaultPlan] = None,
     backoff_base: float = 0.0,
     backoff_factor: float = 2.0,
+    backoff_jitter: float = 0.0,
     chunk_size: int = 4096,
 ) -> JournaledUpdateOutcome:
-    """One in-place update that survives both link faults and power cuts.
+    """Drive one pre-built in-place payload through transfer and
+    journaled apply.
 
-    The session transfers an in-place payload (retrying
-    :class:`TransmissionError` and corrupt deliveries with backoff, like
-    :func:`run_update`), then applies it through the crash-safe
-    :class:`~repro.device.journal.JournaledApplier`.  A
-    :class:`~repro.faults.FaultPlan` drives the adversity
-    deterministically: the ``channel.transmit`` site is checked once per
-    transmission (scope = package), and each boot ``b`` of the apply
-    phase asks ``plan.power_fuel(package, b)`` for a write budget — a
-    firing ``device.power`` spec cuts power after ``fuel`` written
-    bytes, and the next boot resumes from the journal instead of
-    starting over (re-running the delta would corrupt the image, since
-    in-place copies destroy their sources).
+    This is the device-side half of :func:`run_journaled_update`,
+    factored out so the fleet campaign can build a payload *once* per
+    stale cohort (possibly via
+    :meth:`UpdateServer.build_chain_payload`) and replay it against
+    thousands of simulated devices, each with its own fault ``scope``.
+    All fault decisions — transmit drops, delivery truncation/bit flips,
+    per-boot power fuel, storage rot — are pure functions of
+    ``(fault_plan.seed, site, scope, index)``, so the same arguments
+    produce the same outcome on any executor.
+
+    ``reference`` seeds the device's storage (the bytes the stale device
+    holds); ``expected`` — when given — is the oracle the reconstructed
+    image is compared against after the delta's own checksum passes.
+    Backoff jitter is drawn from the fault seed (see
+    :func:`_sleep_backoff`), never from global randomness.
     """
-    if want is None:
-        want = server.latest_release(package)
-    payload = server.build_payload(package, have, want, "in-place")
-    expected = server.release(package, want)
+    seed = fault_plan.seed if fault_plan is not None else 0
     outcome = JournaledUpdateOutcome(
         payload_bytes=len(payload),
-        image_bytes=len(expected),
+        image_bytes=len(expected) if expected is not None else 0,
     )
 
     # -- transfer phase: retry link faults and corrupt deliveries -------
@@ -335,26 +381,43 @@ def run_journaled_update(
         outcome.attempts = attempt
         try:
             if fault_plan is not None:
-                fault_plan.check("channel.transmit", scope=package,
+                fault_plan.check("channel.transmit", scope=scope,
                                  index=attempt)
             delivery = channel.transmit(payload, rng)
         except TransmissionError as exc:
             outcome.faults.append(describe_failure(exc))
-            _sleep_backoff(attempt, backoff_base, backoff_factor)
+            _sleep_backoff(attempt, backoff_base, backoff_factor,
+                           jitter=backoff_jitter, seed=seed, scope=scope)
             continue
         outcome.transfer_seconds += delivery.seconds
         received = delivery.payload
         if fault_plan is not None:
-            spec = fault_plan.corruption("delta.truncate", package, attempt)
+            spec = fault_plan.corruption("delta.truncate", scope, attempt)
             if spec is not None and len(received) > 1:
                 cut = spec.offset if spec.offset is not None else \
-                    fault_plan.draw_offset("delta.truncate", package,
+                    fault_plan.draw_offset("delta.truncate", scope,
                                            attempt, len(received) - 1) + 1
                 cut = min(cut, len(received) - 1)
                 received = received[:cut]
                 outcome.faults.append(
                     "TruncatedDelivery: delta cut to %d of %d bytes "
                     "(attempt %d)" % (cut, outcome.payload_bytes, attempt)
+                )
+            spec = fault_plan.corruption("delta.bitflip", scope, attempt)
+            if spec is not None and received:
+                # A corrupted download: one bit of the delivered delta
+                # flipped in flight.  The IPD2 trailer/segment CRCs must
+                # catch this at parse time, before any image byte moves.
+                offset = spec.offset if spec.offset is not None else \
+                    fault_plan.draw_offset("delta.bitflip", scope,
+                                           attempt, len(received))
+                offset = min(offset, len(received) - 1)
+                flipped = bytearray(received)
+                flipped[offset] ^= 0x01
+                received = bytes(flipped)
+                outcome.faults.append(
+                    "CorruptedDelivery: delta bit flipped at offset %d "
+                    "(attempt %d)" % (offset, attempt)
                 )
         try:
             if is_sealed(received):
@@ -365,7 +428,8 @@ def run_journaled_update(
             # CRC is checked before a single command is even parsed:
             # nothing applied yet, so a retransmission is always safe.
             outcome.faults.append(describe_failure(exc))
-            _sleep_backoff(attempt, backoff_base, backoff_factor)
+            _sleep_backoff(attempt, backoff_base, backoff_factor,
+                           jitter=backoff_jitter, seed=seed, scope=scope)
             continue
         break
     if script is None:
@@ -373,17 +437,17 @@ def run_journaled_update(
         return outcome
 
     # -- apply phase: journaled, resumable across power cuts ------------
-    storage = CrashingStorage(server.release(package, have))
+    storage = CrashingStorage(reference)
     journal = Journal()
     for boot in range(1, max_boots + 1):
         outcome.boots = boot
         if fault_plan is not None:
             # Simulated flash rot: flips happen silently while the
             # device is down; detection is the integrity plane's job.
-            spec = fault_plan.corruption("storage.bitflip", package, boot)
+            spec = fault_plan.corruption("storage.bitflip", scope, boot)
             if spec is not None and len(storage):
                 offset = spec.offset if spec.offset is not None else \
-                    fault_plan.draw_offset("storage.bitflip", package,
+                    fault_plan.draw_offset("storage.bitflip", scope,
                                            boot, len(storage))
                 storage.flip(min(offset, len(storage) - 1))
                 outcome.faults.append(
@@ -411,7 +475,7 @@ def run_journaled_update(
             outcome.corruption = True
             outcome.failure = describe_failure(exc)
             return outcome
-        fuel = (fault_plan.power_fuel(package, boot)
+        fuel = (fault_plan.power_fuel(scope, boot)
                 if fault_plan is not None else None)
         storage.fuel = fuel
         try:
@@ -450,8 +514,67 @@ def run_journaled_update(
                 % (actual, header.version_crc32)
             )
             return outcome
-    if storage.snapshot() != expected:
-        outcome.failure = "reconstructed image differs from release %d" % want
+    if expected is not None and storage.snapshot() != expected:
+        outcome.failure = "reconstructed image differs from expected bytes"
         return outcome
     outcome.succeeded = True
+    return outcome
+
+
+def run_journaled_update(
+    server: UpdateServer,
+    channel: Channel,
+    package: str,
+    *,
+    have: int,
+    want: Optional[int] = None,
+    max_retries: int = 3,
+    max_boots: int = 16,
+    rng: Optional[random.Random] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    backoff_base: float = 0.0,
+    backoff_factor: float = 2.0,
+    backoff_jitter: float = 0.0,
+    chunk_size: int = 4096,
+) -> JournaledUpdateOutcome:
+    """One in-place update that survives both link faults and power cuts.
+
+    The session transfers an in-place payload (retrying
+    :class:`TransmissionError` and corrupt deliveries with backoff, like
+    :func:`run_update`), then applies it through the crash-safe
+    :class:`~repro.device.journal.JournaledApplier`.  A
+    :class:`~repro.faults.FaultPlan` drives the adversity
+    deterministically: the ``channel.transmit`` site is checked once per
+    transmission (scope = package), delivered payloads pass the
+    ``delta.truncate`` / ``delta.bitflip`` corruption sites, and each
+    boot ``b`` of the apply phase asks ``plan.power_fuel(package, b)``
+    for a write budget — a firing ``device.power`` spec cuts power after
+    ``fuel`` written bytes, and the next boot resumes from the journal
+    instead of starting over (re-running the delta would corrupt the
+    image, since in-place copies destroy their sources).
+
+    This is a thin wrapper over :func:`run_journaled_session` that
+    builds the payload from the server's releases; the fleet campaign
+    calls the session function directly with cohort-cached payloads.
+    """
+    if want is None:
+        want = server.latest_release(package)
+    payload = server.build_payload(package, have, want, "in-place")
+    outcome = run_journaled_session(
+        payload,
+        server.release(package, have),
+        server.release(package, want),
+        channel=channel,
+        scope=package,
+        max_retries=max_retries,
+        max_boots=max_boots,
+        rng=rng,
+        fault_plan=fault_plan,
+        backoff_base=backoff_base,
+        backoff_factor=backoff_factor,
+        backoff_jitter=backoff_jitter,
+        chunk_size=chunk_size,
+    )
+    if outcome.failure == "reconstructed image differs from expected bytes":
+        outcome.failure = "reconstructed image differs from release %d" % want
     return outcome

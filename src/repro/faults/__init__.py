@@ -3,7 +3,8 @@
 See :mod:`repro.faults.plan` for the design.  The short version: a
 :class:`FaultPlan` schedules faults at named sites (``diff.worker``,
 ``convert.evict``, ``cache.lookup``, ``channel.transmit``,
-``device.power``, ``storage.bitflip``, ``delta.truncate``) with
+``device.power``, ``storage.bitflip``, ``delta.truncate``,
+``delta.bitflip``) with
 nth-call/count/probability triggers, and every
 decision is a pure function of ``(seed, site, scope, call index)`` so
 the same plan reproduces the same faults across runs, threads and
@@ -18,6 +19,7 @@ from .plan import (
     FaultRecord,
     FaultSpec,
     describe_failure,
+    jitter_draw,
 )
 
 __all__ = [
@@ -28,4 +30,5 @@ __all__ = [
     "FaultSpec",
     "KNOWN_SITES",
     "describe_failure",
+    "jitter_draw",
 ]

@@ -46,8 +46,14 @@ Sites wired into the library:
     transmission attempt: a firing spec truncates the delivered delta
     at a drawn (or pinned) offset, which the self-verifying ``IPD2``
     trailer must detect at parse time.
+``delta.bitflip``
+    In :func:`~repro.device.updater.run_journaled_update`, once per
+    transmission attempt: a firing spec flips one bit of the delivered
+    delta at a drawn (or pinned) offset — the corrupted-download shape
+    fleet campaigns inject; the ``IPD2`` trailer/segment CRCs must
+    catch it before a byte of the image changes.
 
-The last two are *mutation* sites: :meth:`FaultPlan.corruption` returns
+The last three are *mutation* sites: :meth:`FaultPlan.corruption` returns
 the firing spec (with a deterministic :meth:`FaultPlan.draw_offset`)
 instead of raising, and the caller corrupts its own state.  Detection —
 not avoidance — is what is under test.
@@ -78,6 +84,7 @@ KNOWN_SITES = (
     "device.power",
     "storage.bitflip",
     "delta.truncate",
+    "delta.bitflip",
 )
 
 #: Error kinds a spec may raise, by name (kept picklable: classes are
@@ -376,7 +383,8 @@ class FaultPlan:
                 kwargs["error"] = "power"
             if site == "channel.transmit" and "error" not in kwargs:
                 kwargs["error"] = "transmission"
-            if site == "storage.bitflip" and "error" not in kwargs:
+            if site in ("storage.bitflip", "delta.bitflip") and \
+                    "error" not in kwargs:
                 kwargs["error"] = "bitflip"
             if site == "delta.truncate" and "error" not in kwargs:
                 kwargs["error"] = "truncate"
@@ -387,6 +395,21 @@ class FaultPlan:
         if not specs:
             raise ValueError("fault plan %r contains no specs" % text)
         return cls(specs, seed=seed)
+
+
+def jitter_draw(seed: int, scope: str, attempt: int) -> float:
+    """Deterministic uniform ``[0, 1)`` draw for retry-backoff jitter.
+
+    A pure function of ``(seed, scope, attempt)``, exactly like fault
+    decisions: the pipeline and the updater both derive their backoff
+    jitter through here (seeded from the job's fault plan), so retry
+    timing — and with it every trace — is byte-reproducible across the
+    serial, thread and process executors instead of drifting with
+    whichever worker happened to consume a process-global RNG first.
+    """
+    return random.Random(
+        "%d|backoff|%s|%d" % (seed, scope, attempt)
+    ).random()
 
 
 def describe_failure(exc: BaseException) -> str:
@@ -407,4 +430,5 @@ __all__ = [
     "FaultSpec",
     "KNOWN_SITES",
     "describe_failure",
+    "jitter_draw",
 ]

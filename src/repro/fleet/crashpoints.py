@@ -1,0 +1,320 @@
+"""Exhaustive crash-point recovery checking for journaled updates.
+
+The journal protocol (:mod:`repro.device.journal`) claims that a power
+cut at *any* written byte is recoverable: resume from the journal and
+the device ends with the exact target image, or halts with a structured
+:class:`~repro.exceptions.IntegrityError`.  The tests sample this; the
+fleet checker *enumerates* it.
+
+:func:`check_crash_points` runs the applier once to count every byte it
+writes (``CrashingStorage.bytes_written``), then replays the update
+with the power dying at **every** write boundary ``0 .. W-1`` — each
+boot's journal is round-tripped through its durable serialization, like
+:func:`~repro.device.updater.run_journaled_session` does — and demands
+byte-exactness after resume at every single point.
+
+Two adversarial variants relax "exact" to "exact or structured halt",
+because they corrupt the recovery state itself:
+
+* :func:`check_torn_journal` truncates the serialized journal at every
+  byte (the journal-sector write itself torn by the cut).  The parse
+  contract is checked — every prefix either recovers (``torn_tail``)
+  or raises ``IntegrityError``/``DeltaFormatError``, never garbage —
+  and the resumed update must end byte-exact or be *caught*.  A torn
+  prefix can drop a backup/scratch record whose protected action had,
+  in this simulation, already begun (on a real device write-ahead
+  ordering forbids that state), so the checker emulates the session's
+  final gate: a resume that ends byte-inexact must be detected by the
+  resume digest or the version checksum — silently wrong final bytes
+  are a failure.
+
+* :func:`check_double_cut` interrupts the *recovery* with a second cut
+  at every (sampled) remaining write boundary, then resumes again:
+  double power cuts must still land byte-exact.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.commands import DeltaScript
+from ..exceptions import DeltaFormatError, IntegrityError
+from ..device.journal import (
+    CrashingStorage,
+    Journal,
+    JournaledApplier,
+    PowerFailureError,
+)
+
+#: Journal record kinds a sweep can observe (mirrors the wire types).
+RECORD_KINDS = ("state", "scratch", "backup")
+
+
+@dataclass
+class CrashPointReport:
+    """Outcome of one exhaustive crash-point enumeration."""
+
+    #: Total bytes the update writes: the number of distinct crash
+    #: points (a cut before byte ``k`` for every ``k < boundaries``).
+    boundaries: int = 0
+    checked: int = 0
+    #: Crash points whose resume produced the exact target image.
+    exact: int = 0
+    #: Crash points that halted with a structured IntegrityError (only
+    #: the adversarial variants may count any).
+    halted: int = 0
+    #: Journal record kinds observed across all crash-point journals —
+    #: a multi-segment script should show all of ``RECORD_KINDS``.
+    record_kinds: List[str] = field(default_factory=list)
+    #: Crash points that ended wrong with no structured detection: the
+    #: protocol violations this checker exists to find.  Empty = pass.
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and self.checked > 0
+
+    def merge_kinds(self, journal: Journal) -> None:
+        kinds = {"state"}
+        if journal.scratch:
+            kinds.add("scratch")
+        if journal.backup_offset >= 0:
+            kinds.add("backup")
+        self.record_kinds = sorted(set(self.record_kinds) | kinds)
+
+
+def count_write_boundaries(script: DeltaScript, reference: bytes, *,
+                           chunk_size: int = 4096) -> int:
+    """Total storage bytes the journaled update writes (= crash points)."""
+    storage = CrashingStorage(reference)
+    JournaledApplier(script, Journal()).run(storage, chunk_size=chunk_size)
+    return storage.bytes_written
+
+
+def _resume_to_completion(
+    script: DeltaScript,
+    storage: CrashingStorage,
+    journal: Journal,
+    expected: bytes,
+    report: CrashPointReport,
+    label: str,
+    *,
+    chunk_size: int,
+    require_exact: bool,
+) -> None:
+    """Resume ``journal`` with unlimited fuel and classify the ending."""
+    storage.fuel = None
+    try:
+        journal = Journal.from_bytes(journal.to_bytes())
+        JournaledApplier(script, journal).run(storage, chunk_size=chunk_size)
+    except IntegrityError as exc:
+        if require_exact:
+            report.failures.append("%s: structured halt where exactness "
+                                   "was required: %s" % (label, exc))
+        else:
+            report.halted += 1
+        return
+    report.merge_kinds(journal)
+    final = storage.snapshot()
+    if final == expected:
+        report.exact += 1
+        return
+    if require_exact:
+        report.failures.append(
+            "%s: resume completed with wrong bytes (no detection)" % label)
+        return
+    # Adversarial variants: the session's final gate (version checksum)
+    # must catch a wrong image — emulate it here.  CRC32 stands in for
+    # the delta's carried checksum.
+    if zlib.crc32(final) != zlib.crc32(expected):
+        report.halted += 1
+    else:  # pragma: no cover - a CRC collision on wrong bytes
+        report.failures.append(
+            "%s: wrong bytes would pass the version checksum" % label)
+
+
+def check_crash_points(
+    script: DeltaScript,
+    reference: bytes,
+    expected: bytes,
+    *,
+    chunk_size: int = 4096,
+    stride: int = 1,
+) -> CrashPointReport:
+    """Enumerate every write boundary; demand byte-exact recovery.
+
+    For each fuel ``f`` in ``0, stride, 2*stride, ... < W`` the update
+    runs until the power dies after exactly ``f`` written bytes, the
+    journal round-trips through its serialized form (exercising record
+    CRCs and torn-tail recovery on the clean sector), and the resumed
+    update must complete **byte-exact** — a structured halt is a
+    failure here, because nothing corrupted the journal or the storage.
+    ``stride=1`` (the default) is the exhaustive sweep the acceptance
+    bar requires.
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    report = CrashPointReport()
+    report.boundaries = count_write_boundaries(script, reference,
+                                               chunk_size=chunk_size)
+    for fuel in range(0, report.boundaries, stride):
+        report.checked += 1
+        label = "crash@%d" % fuel
+        storage = CrashingStorage(reference, fuel=fuel)
+        journal = Journal()
+        try:
+            JournaledApplier(script, journal).run(storage,
+                                                 chunk_size=chunk_size)
+            report.failures.append(
+                "%s: expected a power cut but the update completed" % label)
+            continue
+        except PowerFailureError:
+            pass
+        report.merge_kinds(journal)
+        _resume_to_completion(script, storage, journal, expected, report,
+                              label, chunk_size=chunk_size,
+                              require_exact=True)
+    return report
+
+
+def check_double_cut(
+    script: DeltaScript,
+    reference: bytes,
+    expected: bytes,
+    *,
+    chunk_size: int = 4096,
+    first_stride: int = 1,
+    second_stride: int = 1,
+    max_points: Optional[int] = None,
+) -> CrashPointReport:
+    """Cut the power, then cut it *again* during recovery.
+
+    For every first-cut fuel ``f1`` (stepped by ``first_stride``) and
+    every remaining-write fuel ``f2`` (stepped by ``second_stride``),
+    boot 2 resumes from the serialized journal and dies again after
+    ``f2`` bytes; boot 3 must complete byte-exact.  ``max_points``
+    bounds the total pair count for big scripts (pairs are enumerated
+    deterministically first-cut-major, so a bound is a prefix, not a
+    sample).
+    """
+    report = CrashPointReport()
+    report.boundaries = count_write_boundaries(script, reference,
+                                               chunk_size=chunk_size)
+    for f1 in range(0, report.boundaries, first_stride):
+        storage = CrashingStorage(reference, fuel=f1)
+        journal = Journal()
+        try:
+            JournaledApplier(script, journal).run(storage,
+                                                 chunk_size=chunk_size)
+            report.failures.append(
+                "crash@%d: expected a power cut but the update completed"
+                % f1)
+            continue
+        except PowerFailureError:
+            pass
+        base_image = storage.snapshot()
+        base_journal = journal.to_bytes()
+        # How much recovery writes if left alone: the second cut sweeps
+        # every boundary of *that* work.
+        probe_storage = CrashingStorage(base_image)
+        probe_journal = Journal.from_bytes(base_journal)
+        JournaledApplier(script, probe_journal).run(probe_storage,
+                                                    chunk_size=chunk_size)
+        remaining = probe_storage.bytes_written
+        for f2 in range(0, remaining, second_stride):
+            if max_points is not None and report.checked >= max_points:
+                return report
+            report.checked += 1
+            label = "crash@%d+%d" % (f1, f2)
+            storage2 = CrashingStorage(base_image, fuel=f2)
+            journal2 = Journal.from_bytes(base_journal)
+            try:
+                JournaledApplier(script, journal2).run(
+                    storage2, chunk_size=chunk_size)
+                report.failures.append(
+                    "%s: expected a second power cut but recovery "
+                    "completed" % label)
+                continue
+            except PowerFailureError:
+                pass
+            except IntegrityError as exc:
+                report.failures.append(
+                    "%s: structured halt on clean double cut: %s"
+                    % (label, exc))
+                continue
+            report.merge_kinds(journal2)
+            _resume_to_completion(script, storage2, journal2, expected,
+                                  report, label, chunk_size=chunk_size,
+                                  require_exact=True)
+    return report
+
+
+def check_torn_journal(
+    script: DeltaScript,
+    reference: bytes,
+    expected: bytes,
+    *,
+    fuel: int,
+    chunk_size: int = 4096,
+) -> CrashPointReport:
+    """Tear the journal sector itself at every byte after one crash.
+
+    The power dies after ``fuel`` written bytes; the serialized journal
+    is then truncated at every prefix length (the sector write torn by
+    the same cut).  Every prefix must either parse-recover (dropping
+    the torn tail) or raise a structured error — and a recovered resume
+    must end byte-exact or be caught by the resume digest / version
+    checksum.  ``report.halted`` counts the caught endings.
+    """
+    report = CrashPointReport()
+    storage = CrashingStorage(reference, fuel=fuel)
+    journal = Journal()
+    try:
+        JournaledApplier(script, journal).run(storage, chunk_size=chunk_size)
+        raise ValueError(
+            "fuel %d did not cut the update; pick fuel < %d"
+            % (fuel, count_write_boundaries(script, reference,
+                                            chunk_size=chunk_size))
+        )
+    except PowerFailureError:
+        pass
+    base_image = storage.snapshot()
+    sector = journal.to_bytes()
+    report.boundaries = len(sector)
+    for cut in range(len(sector) + 1):
+        report.checked += 1
+        label = "torn@%d/%d" % (cut, len(sector))
+        try:
+            recovered = Journal.from_bytes(sector[:cut])
+        except (IntegrityError, DeltaFormatError):
+            report.halted += 1  # structured refusal to resume
+            continue
+        except Exception as exc:  # pragma: no cover - parse contract hole
+            report.failures.append(
+                "%s: journal parse raised %s instead of a structured "
+                "error" % (label, type(exc).__name__))
+            continue
+        if cut < len(sector) and not recovered.torn_tail and \
+                recovered.to_bytes() == sector:
+            # A strict prefix must not silently claim to be the whole
+            # journal unless truncation only removed absent records.
+            report.failures.append(
+                "%s: truncated journal parsed as complete" % label)
+            continue
+        storage2 = CrashingStorage(base_image)
+        _resume_to_completion(script, storage2, recovered, expected,
+                              report, label, chunk_size=chunk_size,
+                              require_exact=False)
+    return report
+
+
+__all__ = [
+    "CrashPointReport",
+    "RECORD_KINDS",
+    "check_crash_points",
+    "check_double_cut",
+    "check_torn_journal",
+    "count_write_boundaries",
+]

@@ -232,6 +232,11 @@ def build_suite(quick: bool) -> List[BenchOp]:
                             algorithm="greedy",
                             name="pipeline_greedy_sparse_" + large))
 
+    # Fleet campaign smoke: ~200 devices through the journaled updater
+    # with the fault plan on.  The oracle is the robustness acceptance
+    # bar itself — zero silent failures with faults actually firing.
+    ops.append(_campaign_op())
+
     if quick:
         return [op for op in ops if op.quick]
     return ops
@@ -298,6 +303,56 @@ def _pipeline_op(executor: str, jobs: List[PipelineJob], size_label: str,
         quick=quick,
         oracle=oracle,
         cleanup=pipe.close,
+    )
+
+
+def _campaign_op() -> BenchOp:
+    """A 200-device fault-injected campaign through the real updater.
+
+    Throughput is installed image bytes per second.  The oracle enforces
+    the campaign's protocol invariant: every device lands in a terminal
+    state (updated / quarantined-with-reason), no silent failures, and
+    the fault plan actually fired — a campaign that dodged its faults
+    measures nothing.
+    """
+    from ..faults import FaultPlan
+    from ..fleet import RolloutPolicy, make_fleet, make_release_train, \
+        run_campaign
+
+    devices = 200
+    train = make_release_train(("app", "kernel"), releases=3, size=32_768,
+                               seed=_SEED)
+    fleet = make_fleet(devices, train, seed=_SEED)
+    plan = FaultPlan.parse(
+        "device.power:p=0.08:fuel=4000; delta.truncate:p=0.05; "
+        "delta.bitflip:p=0.05; channel.transmit:p=0.05",
+        seed=_SEED,
+    )
+    image_bytes = sum(len(train[d.package][-1]) for d in fleet)
+
+    def run():
+        return run_campaign(train, fleet, policy=RolloutPolicy(),
+                            fault_plan=plan, seed=_SEED, executor="serial")
+
+    def oracle(report) -> bool:
+        counters = report.counters
+        return (
+            not report.silent_failures()
+            and counters["devices"] == devices
+            and (counters["updated"] + counters["quarantined"]
+                 + counters["deferred"]) == devices
+            and counters["power_cuts"] > 0
+            and counters["fault_events"] > 0
+        )
+
+    return BenchOp(
+        name="campaign_smoke_200dev",
+        op="fleet.campaign",
+        run=run,
+        input_bytes={"devices": devices, "images": image_bytes},
+        processed_bytes=image_bytes,
+        quick=True,
+        oracle=oracle,
     )
 
 

@@ -68,7 +68,6 @@ conversion.
 from __future__ import annotations
 
 import os
-import random
 import time
 import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -89,7 +88,7 @@ from ..delta import (
 )
 from ..delta.varint import varint_size
 from ..exceptions import ReproError
-from ..faults import FaultPlan, describe_failure
+from ..faults import FaultPlan, describe_failure, jitter_draw
 from .cache import (
     ALGORITHM_KINDS,
     KIND_FINGERPRINTS,
@@ -300,6 +299,32 @@ class BatchReport:
     def trace(self) -> List[str]:
         """Per-job traces concatenated in submission order."""
         return [line for r in self.results for line in r.report.trace]
+
+    def summary(self) -> Dict[str, object]:
+        """Machine-readable batch summary (schema ``repro.pipeline.batch/1``).
+
+        The same dictionary serves ``ipdelta pipeline --json`` and the
+        fleet campaign's encode-phase section, so tooling parses one
+        schema wherever a batch ran.  Everything in it is derived from
+        per-job reports, so for a fixed fault seed it is identical
+        across executor modes (wall/compute seconds excepted).
+        """
+        return {
+            "schema": "repro.pipeline.batch/1",
+            "jobs": self.jobs,
+            "ok": self.ok_jobs,
+            "retried": list(self.retried),
+            "fallbacks": list(self.fallbacks),
+            "quarantined": list(self.quarantined),
+            "corrupted": list(self.corrupted),
+            "fault_events": self.fault_events,
+            "verified": self.verified,
+            "cache_hits": self.cache_hits,
+            "version_bytes": self.total_version_bytes,
+            "delta_bytes": self.total_delta_bytes,
+            "wall_seconds": self.wall_seconds,
+            "compute_seconds": self.compute_seconds,
+        }
 
 
 # -- process-pool plumbing --------------------------------------------
@@ -568,8 +593,12 @@ class DeltaPipeline:
       the serial watchdog flags the overrun after the fact).
     * ``backoff_base``/``backoff_factor``/``backoff_jitter``/
       ``backoff_max`` — exponential backoff between a job's attempts;
-      ``backoff_base=0`` (default) disables sleeping.  Jitter draws from
-      an explicit ``random.Random(backoff_seed)``.
+      ``backoff_base=0`` (default) disables sleeping.  Jitter is a pure
+      function of ``(seed, job name, attempt)`` via
+      :func:`~repro.faults.jitter_draw` — the seed is the fault plan's
+      when one is installed, else ``backoff_seed`` — never shared
+      mutable RNG state, so a job's retry timing is identical whichever
+      executor (or worker) drives it.
     * ``fault_plan`` — a :class:`~repro.faults.FaultPlan` checked at the
       ``diff.worker``, ``cache.lookup`` and ``convert.evict`` sites.
 
@@ -626,7 +655,11 @@ class DeltaPipeline:
         self.backoff_factor = config.backoff_factor
         self.backoff_jitter = config.backoff_jitter
         self.backoff_max = config.backoff_max
-        self._backoff_rng = random.Random(config.backoff_seed)
+        # Jitter derives from the fault plan's seed when one is set, so
+        # a seeded fault scenario reproduces its retry timing exactly.
+        self._backoff_seed = (config.fault_plan.seed
+                              if config.fault_plan is not None
+                              else config.backoff_seed)
         self.fault_plan = config.fault_plan
         self.verify_outputs = config.verify_outputs
         self._diff_pool: Optional[Executor] = None
@@ -767,13 +800,20 @@ class DeltaPipeline:
         return ("StageTimeoutError: %s stage exceeded %gs budget"
                 % (stage, self.stage_timeout))
 
-    def _backoff(self, attempt: int) -> None:
-        """Sleep before the next attempt (exponential, jittered)."""
+    def _backoff(self, attempt: int, scope: str) -> None:
+        """Sleep before the next attempt (exponential, jittered).
+
+        The jitter fraction is :func:`~repro.faults.jitter_draw` over
+        ``(seed, scope, attempt)`` — a pure function, no shared RNG — so
+        a job's retry schedule is byte-reproducible from its fault seed
+        regardless of executor mode or sibling jobs' retries.
+        """
         if self.backoff_base <= 0.0:
             return
         delay = min(self.backoff_max,
                     self.backoff_base * (self.backoff_factor ** (attempt - 1)))
-        delay *= 1.0 + self.backoff_jitter * self._backoff_rng.random()
+        delay *= 1.0 + self.backoff_jitter * jitter_draw(
+            self._backoff_seed, scope, attempt)
         time.sleep(delay)
 
     def _diff_attempt(self, job: PipelineJob, algorithm: str, index: int) -> Tuple:
@@ -841,7 +881,7 @@ class DeltaPipeline:
                     faults.append(payload)
                     trace.append("%s: %s attempt %d diff failed: %s"
                                  % (job.name, algo, attempts, payload))
-                    self._backoff(attempts)
+                    self._backoff(attempts, job.name)
                     continue
                 (script, queue_s, diff_s, hit, submitted, stage_faults,
                  worker_counters) = payload
@@ -868,7 +908,7 @@ class DeltaPipeline:
                     faults.append(failure)
                     trace.append("%s: %s attempt %d convert failed: %s"
                                  % (job.name, algo, attempts, failure))
-                    self._backoff(attempts)
+                    self._backoff(attempts, job.name)
                     continue
                 trace.append("%s: ok via %s (attempt %d)"
                              % (job.name, algo, attempts))

@@ -1,4 +1,6 @@
-"""Synthetic workloads: file mutators, content generators, versioned corpus."""
+"""Synthetic workloads: file mutators, content generators, versioned
+corpus, and the adversarial edit processes (InDel, replica-sync) the
+fleet campaign and fuzz suites sweep."""
 
 from .corpus import (
     Corpus,
@@ -7,6 +9,14 @@ from .corpus import (
     benchmark_corpus,
     default_package_specs,
     small_corpus,
+)
+from .indel import (
+    ADVERSARIAL_GENERATORS,
+    InDelProcess,
+    ReplicaSyncProcess,
+    indel_arbitrary,
+    indel_random,
+    replica_sync,
 )
 from .mutators import (
     CHURN_PROFILE,
@@ -20,12 +30,15 @@ from .sources import GENERATORS, make_binary_blob, make_changelog, make_source_f
 from .web import WebSite, fetch_sequence
 
 __all__ = [
+    "ADVERSARIAL_GENERATORS",
     "CHURN_PROFILE",
     "Corpus",
     "GENERATORS",
+    "InDelProcess",
     "MUTATORS",
     "MutationProfile",
     "PackageSpec",
+    "ReplicaSyncProcess",
     "STABLE_PROFILE",
     "VersionPair",
     "WebSite",
@@ -33,9 +46,12 @@ __all__ = [
     "fetch_sequence",
     "default_package_specs",
     "edit_distance_estimate",
+    "indel_arbitrary",
+    "indel_random",
     "make_binary_blob",
     "make_changelog",
     "make_source_file",
     "mutate",
+    "replica_sync",
     "small_corpus",
 ]

@@ -1,0 +1,216 @@
+"""Adversarial edit processes from the related literature.
+
+The corpus mutators in :mod:`repro.workloads.mutators` model *release
+engineering*: a modest number of localized, block-sized edits per
+version.  Two related papers describe harsher processes that a fleet
+campaign should also stress:
+
+* **Wang et al., "File Updates Under Random/Arbitrary Insertions And
+  Deletions"** model the client/encoder editing a file as an *InDel
+  process*: a stream of single-symbol insertions and deletions landing
+  at uniformly random positions (the "random" regime) or chosen
+  adversarially (the "arbitrary" regime, which we approximate by
+  clustering the edits into a narrow window — the worst case for
+  seed-based differencing, since every seed near the window shifts).
+  Many tiny unaligned edits shred the shared-seed structure greedy
+  differencing depends on, which is exactly the workload that pushes
+  deltas toward the full-rewrite floor.
+
+* **Harshan & Oggier, "Sparsity Exploiting Erasure Coding for Resilient
+  Storage ... in Delta based Versioning Systems"** store versions as
+  *sparse* deltas over fixed-size blocks: a new version touches a small
+  subset of blocks and leaves the rest byte-identical.  The
+  :func:`replica_sync` mutator reproduces that shape — block-aligned
+  rewrites with everything else untouched — which is the *friendliest*
+  delta workload and the natural foil to the InDel process.  Its
+  ``parity_blocks`` knob models the erasure-coded replicas of the
+  paper: parity blocks are recomputed (XOR across a stripe) whenever a
+  data block in their stripe changes, so edits fan out the way they do
+  in a coded store.
+
+Both generators are deterministic given their ``random.Random`` and are
+registered in :data:`ADVERSARIAL_GENERATORS` so the fleet campaign and
+the differ fuzz suites can sweep them alongside the corpus mutators.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class InDelProcess:
+    """Wang et al.'s insertion-deletion edit process.
+
+    ``edits`` single-symbol operations are applied in sequence; each is
+    an insertion with probability ``p_insert`` (else a deletion).  In
+    the ``"random"`` regime positions are uniform over the current
+    file; in the ``"arbitrary"`` regime they concentrate inside a
+    window of ``window_fraction`` of the file chosen once per run — the
+    adversarial clustering that maximizes seed misalignment.
+    ``burst`` > 1 turns each operation into a run of that many adjacent
+    symbols (the papers' burst-InDel variant).
+    """
+
+    edits: int = 64
+    p_insert: float = 0.5
+    regime: str = "random"  # or "arbitrary"
+    burst: int = 1
+    window_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.regime not in ("random", "arbitrary"):
+            raise ValueError(
+                "unknown InDel regime %r; choose 'random' or 'arbitrary'"
+                % (self.regime,)
+            )
+        if not (0.0 <= self.p_insert <= 1.0):
+            raise ValueError("p_insert must be in [0, 1]")
+        if self.edits < 0 or self.burst < 1:
+            raise ValueError("edits must be >= 0 and burst >= 1")
+        if not (0.0 < self.window_fraction <= 1.0):
+            raise ValueError("window_fraction must be in (0, 1]")
+
+    def apply(self, data: bytes, rng: random.Random) -> bytes:
+        """Run the process over ``data`` and return the edited file."""
+        out = bytearray(data)
+        window_start = window_len = 0
+        if self.regime == "arbitrary" and out:
+            window_len = max(1, int(len(out) * self.window_fraction))
+            window_start = rng.randrange(max(1, len(out) - window_len + 1))
+        for _ in range(self.edits):
+            if self.regime == "arbitrary" and out:
+                hi = min(len(out), window_start + window_len)
+                lo = min(window_start, len(out) - 1)
+                pos = rng.randrange(lo, max(lo + 1, hi))
+            else:
+                pos = rng.randrange(len(out) + 1) if out else 0
+            if rng.random() < self.p_insert or not out:
+                out[pos:pos] = rng.randbytes(self.burst)
+            else:
+                del out[pos:pos + self.burst]
+        return bytes(out)
+
+
+def indel_random(data: bytes, rng: random.Random, edits: int = 64,
+                 p_insert: float = 0.5, burst: int = 1) -> bytes:
+    """One round of the random-position InDel process."""
+    return InDelProcess(edits=edits, p_insert=p_insert,
+                        burst=burst).apply(data, rng)
+
+
+def indel_arbitrary(data: bytes, rng: random.Random, edits: int = 64,
+                    p_insert: float = 0.5, burst: int = 1,
+                    window_fraction: float = 0.05) -> bytes:
+    """One round of the clustered (adversarial) InDel process."""
+    return InDelProcess(edits=edits, p_insert=p_insert, burst=burst,
+                        regime="arbitrary",
+                        window_fraction=window_fraction).apply(data, rng)
+
+
+@dataclass(frozen=True)
+class ReplicaSyncProcess:
+    """Harshan & Oggier's block-sparse delta-versioning edit shape.
+
+    The file is viewed as consecutive ``block_size``-byte blocks
+    grouped into stripes of ``stripe_width`` data blocks followed by
+    ``parity_blocks`` parity blocks.  One sync rewrites a sparse subset
+    of data blocks (``sparsity`` of them on average, at least one) with
+    fresh bytes and recomputes every parity block whose stripe was
+    touched as the XOR of its stripe's data blocks — the deterministic
+    fan-out a coded replica store exhibits.  All untouched blocks stay
+    byte-identical, so the resulting delta is maximally sparse and
+    block-aligned.
+    """
+
+    block_size: int = 512
+    sparsity: float = 0.04
+    stripe_width: int = 8
+    parity_blocks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1 or self.stripe_width < 1:
+            raise ValueError("block_size and stripe_width must be positive")
+        if not (0.0 < self.sparsity <= 1.0):
+            raise ValueError("sparsity must be in (0, 1]")
+        if self.parity_blocks < 0:
+            raise ValueError("parity_blocks must be non-negative")
+
+    def apply(self, data: bytes, rng: random.Random) -> bytes:
+        out = bytearray(data)
+        nblocks = max(1, (len(out) + self.block_size - 1) // self.block_size)
+        stripe = self.stripe_width + self.parity_blocks
+        # Data blocks are the non-parity positions of each stripe.
+        data_blocks = [b for b in range(nblocks)
+                       if (b % stripe) < self.stripe_width]
+        if not data_blocks:
+            return bytes(out)
+        count = max(1, int(round(len(data_blocks) * self.sparsity)))
+        touched = sorted(rng.sample(data_blocks, min(count, len(data_blocks))))
+        for b in touched:
+            start = b * self.block_size
+            stop = min(len(out), start + self.block_size)
+            out[start:stop] = rng.randbytes(stop - start)
+        if self.parity_blocks:
+            for s in sorted({b // stripe for b in touched}):
+                self._recompute_parity(out, s, stripe)
+        return bytes(out)
+
+    def _recompute_parity(self, out: bytearray, s: int, stripe: int) -> None:
+        base = s * stripe
+        for p in range(self.parity_blocks):
+            pb = base + self.stripe_width + p
+            start = pb * self.block_size
+            if start >= len(out):
+                break
+            stop = min(len(out), start + self.block_size)
+            parity = bytearray(stop - start)
+            for d in range(self.stripe_width):
+                dstart = (base + d) * self.block_size
+                chunk = out[dstart:dstart + len(parity)]
+                for i, byte in enumerate(chunk):
+                    parity[i] ^= byte
+            out[start:stop] = parity
+
+
+def replica_sync(data: bytes, rng: random.Random, block_size: int = 512,
+                 sparsity: float = 0.04, stripe_width: int = 8,
+                 parity_blocks: int = 1) -> bytes:
+    """One replica-sync round: sparse block rewrites plus parity fan-out."""
+    return ReplicaSyncProcess(block_size=block_size, sparsity=sparsity,
+                              stripe_width=stripe_width,
+                              parity_blocks=parity_blocks).apply(data, rng)
+
+
+#: Named adversarial edit processes, same ``(data, rng) -> bytes`` shape
+#: the corpus mutators use — the fleet campaign's workload axis and the
+#: fuzz suites' extra generators.
+AdversarialGenerator = Callable[[bytes, random.Random], bytes]
+
+ADVERSARIAL_GENERATORS: Dict[str, AdversarialGenerator] = {
+    "indel-random": lambda data, rng: indel_random(data, rng),
+    "indel-burst": lambda data, rng: indel_random(data, rng, edits=24,
+                                                  burst=16),
+    "indel-arbitrary": lambda data, rng: indel_arbitrary(data, rng),
+    "replica-sync": lambda data, rng: replica_sync(data, rng),
+    "replica-sync-dense": lambda data, rng: replica_sync(
+        data, rng, block_size=256, sparsity=0.15, parity_blocks=2),
+}
+
+
+def generator_names() -> List[str]:
+    """Stable ordering of :data:`ADVERSARIAL_GENERATORS` keys."""
+    return sorted(ADVERSARIAL_GENERATORS)
+
+
+__all__ = [
+    "ADVERSARIAL_GENERATORS",
+    "InDelProcess",
+    "ReplicaSyncProcess",
+    "generator_names",
+    "indel_arbitrary",
+    "indel_random",
+    "replica_sync",
+]

@@ -1,5 +1,6 @@
 """Tests for the ipdelta command-line interface (repro.cli)."""
 
+import json
 import random
 
 import pytest
@@ -292,3 +293,93 @@ class TestPipelineResilienceCLI:
                  "--fault-plan", "diff.worker:banana=1"])
         assert main(argv) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestPipelineJson:
+    def test_json_artifact_shares_batch_schema(self, tmp_path, capsys):
+        rng = random.Random(7)
+        ref = make_source_file(rng, 4_000)
+        ref_path = tmp_path / "ref.bin"
+        ref_path.write_bytes(ref)
+        paths = []
+        for i in range(3):
+            path = tmp_path / ("v%d.bin" % i)
+            path.write_bytes(mutate(ref, rng))
+            paths.append(path)
+        out_json = tmp_path / "summary.json"
+        argv = (["pipeline", str(ref_path)] + [str(p) for p in paths]
+                + ["--output-dir", str(tmp_path / "deltas"),
+                   "--executor", "serial", "--json", str(out_json)])
+        assert main(argv) == 0
+        assert str(out_json) in capsys.readouterr().out
+        data = json.loads(out_json.read_text())
+        assert data["schema"] == "repro.pipeline.batch/1"
+        assert data["jobs"] == 3
+        assert data["ok"] == 3
+        assert data["quarantined"] == []
+        assert data["delta_bytes"] > 0
+
+    def test_json_records_faults(self, tmp_path):
+        rng = random.Random(8)
+        ref = make_source_file(rng, 4_000)
+        ref_path = tmp_path / "ref.bin"
+        ref_path.write_bytes(ref)
+        ver_path = tmp_path / "v.bin"
+        ver_path.write_bytes(mutate(ref, rng))
+        out_json = tmp_path / "summary.json"
+        argv = ["pipeline", str(ref_path), str(ver_path),
+                "--output-dir", str(tmp_path / "deltas"),
+                "--executor", "serial", "--retries", "1",
+                "--fault-plan", "diff.worker:nth=1",
+                "--json", str(out_json)]
+        assert main(argv) == 0
+        data = json.loads(out_json.read_text())
+        assert data["ok"] == 1
+        assert data["fault_events"] == 1
+        assert len(data["retried"]) == 1
+
+
+class TestCampaignCLI:
+    def test_smoke_with_faults_writes_artifact(self, tmp_path, capsys):
+        art = tmp_path / "campaign.json"
+        argv = ["campaign", "--devices", "40", "--size", "2048",
+                "--releases", "3", "--seed", "5", "--executor", "serial",
+                "--fault-plan",
+                "device.power:p=0.1:fuel=600; delta.bitflip:p=0.1",
+                "--fault-seed", "11", "--out", str(art)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "campaign: 40 devices" in out
+        assert "bandwidth:" in out
+        data = json.loads(art.read_text())
+        assert data["schema"] == "repro.fleet.campaign/1"
+        counters = data["counters"]
+        assert counters["devices"] == 40
+        assert (counters["updated"] + counters["quarantined"]
+                + counters["deferred"]) == 40
+        assert data["stages"]
+
+    def test_include_devices_lists_every_terminal_state(self, tmp_path):
+        art = tmp_path / "campaign.json"
+        argv = ["campaign", "--devices", "10", "--size", "1024",
+                "--releases", "2", "--seed", "1", "--out", str(art),
+                "--include-devices"]
+        assert main(argv) == 0
+        data = json.loads(art.read_text())
+        assert len(data["devices"]) == 10
+        assert all(d["status"] == "updated" for d in data["devices"])
+
+    def test_quarantine_reasons_go_to_stderr(self, tmp_path, capsys):
+        argv = ["campaign", "--devices", "8", "--size", "1024",
+                "--releases", "2", "--seed", "2",
+                "--fault-plan", "storage.bitflip:p=1.0",
+                "--retry-budget", "0"]
+        assert main(argv) == 0  # quarantines are structured, not silent
+        err = capsys.readouterr().err
+        assert "quarantined (corruption" in err
+
+    def test_bad_fault_plan_is_a_usage_error(self, capsys):
+        argv = ["campaign", "--devices", "4", "--size", "1024",
+                "--releases", "2", "--fault-plan", "nonsense.site:p=1"]
+        assert main(argv) == 1
+        assert "error" in capsys.readouterr().err

@@ -219,3 +219,105 @@ class TestJournalFootprint:
         journal = Journal()
         JournaledApplier(result.script, journal).run(CrashingStorage(ref))
         assert journal.size_bytes <= 24 + result.script.scratch_length
+
+
+class TestDoublePowerCutResume:
+    """Satellite coverage: a second power cut *during recovery* must
+    still land byte-exact, both at the raw journal layer and through a
+    full ``run_journaled_update`` session."""
+
+    def _double_cut(self, script, reference, expected, f1, f2,
+                    chunk_size=7):
+        """Cut at f1, resume and cut again at f2, then finish clean —
+        with every boot resuming from the journal's durable bytes."""
+        storage = CrashingStorage(reference, fuel=f1)
+        journal = Journal()
+        with pytest.raises(PowerFailureError):
+            JournaledApplier(script, journal).run(storage,
+                                                  chunk_size=chunk_size)
+        journal = Journal.from_bytes(journal.to_bytes())
+        storage = CrashingStorage(storage.snapshot(), fuel=f2)
+        with pytest.raises(PowerFailureError):
+            JournaledApplier(script, journal).run(storage,
+                                                  chunk_size=chunk_size)
+        journal = Journal.from_bytes(journal.to_bytes())
+        storage = CrashingStorage(storage.snapshot())
+        JournaledApplier(script, journal).run(storage,
+                                              chunk_size=chunk_size)
+        assert storage.snapshot() == expected
+
+    def test_journal_layer_double_cut_grid(self, rng):
+        ref = rng.randbytes(3_000)
+        ver = mutate(ref, rng)
+        result = repro.diff_in_place(ref, ver)
+        probe = CrashingStorage(ref)
+        JournaledApplier(result.script, Journal()).run(probe, chunk_size=7)
+        total = probe.bytes_written
+        for f1 in (0, 1, total // 3, total - 1):
+            for f2 in (0, 1, 29):
+                self._double_cut(result.script, ref, ver, f1, f2)
+
+    def test_journal_layer_double_cut_with_scratch(self, rng):
+        ref = rng.randbytes(3_000)
+        ver = ref[1500:] + ref[:1500]
+        base = repro.diff(ref, ver)
+        result = repro.make_in_place(base, ref, scratch_budget=1 << 14)
+        assert result.script.scratch_length > 0
+        for f1, f2 in ((3, 5), (500, 40), (2000, 0)):
+            self._double_cut(result.script, ref, ver, f1, f2)
+
+    def _session_server(self, size=8192, seed=17):
+        from repro.device import UpdateServer
+
+        r = random.Random(seed)
+        old = r.randbytes(size)
+        new = bytearray(old)
+        new[0:1024] = old[2048:3072]
+        new[4096:4160] = r.randbytes(64)
+        server = UpdateServer()
+        server.publish("pkg", old)
+        server.publish("pkg", bytes(new))
+        return server
+
+    def test_session_survives_two_power_cuts(self):
+        from repro.device import get_channel, run_journaled_update
+        from repro.faults import FaultPlan
+
+        server = self._session_server()
+        # device.power with count=2 cuts the power on boots 1 AND 2;
+        # boot 3 runs with unlimited fuel and must finish byte-exact.
+        plan = FaultPlan.parse("device.power:count=2:fuel=300", seed=3)
+        outcome = run_journaled_update(
+            server, get_channel("t1-1.5m"), "pkg", have=0, fault_plan=plan)
+        assert outcome.succeeded
+        assert outcome.power_cuts == 2
+        assert outcome.boots == 3
+
+    def test_session_survives_three_power_cuts(self):
+        from repro.device import get_channel, run_journaled_update
+        from repro.faults import FaultPlan
+
+        server = self._session_server(seed=23)
+        plan = FaultPlan.parse("device.power:count=3:fuel=150", seed=9)
+        outcome = run_journaled_update(
+            server, get_channel("t1-1.5m"), "pkg", have=0, fault_plan=plan)
+        assert outcome.succeeded
+        assert outcome.power_cuts == 3
+        assert outcome.boots == 4
+
+    def test_double_cut_with_rot_halts_structurally(self):
+        from repro.device import get_channel, run_journaled_update
+        from repro.faults import FaultPlan
+
+        server = self._session_server(seed=29)
+        # Reference rot lands on boot 2, between the two cuts: the
+        # resume-integrity gate must halt with a structured corruption
+        # report rather than install garbage.
+        plan = FaultPlan.parse(
+            "device.power:count=2:fuel=300; storage.bitflip:nth=2", seed=5)
+        outcome = run_journaled_update(
+            server, get_channel("t1-1.5m"), "pkg", have=0, fault_plan=plan)
+        assert not outcome.succeeded
+        assert outcome.corruption
+        assert outcome.failure
+        assert outcome.power_cuts >= 1
