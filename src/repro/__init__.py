@@ -34,6 +34,7 @@ from . import (
     exceptions,
     fleet,
     pipeline,
+    serve,
     workloads,
 )
 from .core import (
@@ -206,6 +207,7 @@ __all__ = [
     "pipeline",
     "preflight_in_place",
     "reconstruct",
+    "serve",
     "storage_crc32",
     "verify_reference",
     "workloads",

@@ -19,9 +19,14 @@ Subcommands mirror the library's pipeline:
   (``--json`` writes the machine-readable batch summary)
 * ``campaign`` — simulate a fleet-wide rollout through the journaled
   updater under fault injection, emitting a JSON report artifact
+* ``serve``    — run the delta-serving daemon (see docs/SERVING.md);
+  drains gracefully on SIGTERM and exits 0
+* ``pull``     — fetch a delta from a daemon and apply it in place via
+  the journaled updater; resumable with ``--state``
 
 Exit status is 0 on success, 1 on a library error (bad input files,
-unsafe delta, ...), 2 on usage errors (argparse's convention).
+unsafe delta, ...), 2 on usage errors (argparse's convention); ``pull``
+additionally exits 3 when the daemon refused it by backpressure.
 """
 
 from __future__ import annotations
@@ -523,6 +528,115 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if silent else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import DeltaServer, ReleaseStore, ServeConfig
+
+    store = ReleaseStore()
+    for spec in args.publish:
+        package, _, paths = spec.partition("=")
+        package = package.strip()
+        files = [p for p in paths.split(",") if p.strip()]
+        if not package or not files:
+            raise ValueError(
+                "--publish wants PACKAGE=FILE[,FILE...] (oldest first), "
+                "got %r" % spec)
+        for path in files:
+            digest = store.publish(package, Path(path).read_bytes())
+            print("published %s %s (%s)" % (package, digest[:12], path))
+    if not store.packages():
+        raise ValueError("nothing to serve: pass at least one --publish")
+    fault_plan = None
+    if args.fault_plan:
+        fault_plan = FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        algorithm=args.algorithm,
+        max_inflight=args.max_inflight,
+        request_timeout=args.request_timeout or None,
+        chunk_size=args.chunk_size,
+        retry_after=args.retry_after,
+        encode_workers=args.encode_workers,
+        fault_plan=fault_plan,
+    )
+
+    async def _run():
+        server = DeltaServer(store, config)
+        await server.start()
+        print("serving %d package(s) on %s:%d"
+              % (len(store.packages()), server.host, server.port),
+              flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, server.request_drain)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await server.wait_drained()
+        return dict(server.counters)
+
+    counters = asyncio.run(_run())
+    print("drained: %d connections, %d served, %d refused, %d encodes "
+          "(%d coalesced, %d payload hits), %d errors"
+          % (counters["connections"], counters["served"],
+             counters["refused"], counters["encodes"],
+             counters["coalesced"], counters["payload_hits"],
+             counters["errors"]))
+    return 0
+
+
+def _cmd_pull(args: argparse.Namespace) -> int:
+    from .serve import PullState, pull
+
+    host, _, port = args.server.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError("server must be HOST:PORT, got %r" % args.server)
+    image_path = Path(args.image)
+    reference = image_path.read_bytes()
+    fault_plan = None
+    if args.fault_plan:
+        fault_plan = FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
+    state = PullState(args.state) if args.state else None
+    outcome = pull(
+        host, int(port), args.package, reference,
+        want=args.want,
+        scope=args.scope or args.package,
+        fault_plan=fault_plan,
+        max_attempts=args.retries,
+        max_boots=args.max_boots,
+        backoff_base=args.backoff,
+        backoff_factor=args.backoff_factor,
+        backoff_jitter=args.backoff_jitter,
+        state=state,
+    )
+    for fault in outcome.faults:
+        print("survived: %s" % fault, file=sys.stderr)
+    if outcome.status == "applied":
+        out_path = Path(args.out) if args.out else image_path
+        out_path.write_bytes(outcome.image)
+        print("applied %s -> %s (%d payload bytes, %d attempt(s), "
+              "%d boot(s), %d resume(s), %d power cut(s))"
+              % (args.package, outcome.want[:12] or "latest",
+                 outcome.payload_bytes, outcome.attempts, outcome.boots,
+                 outcome.resumes, outcome.power_cuts))
+        if args.json:
+            Path(args.json).write_text(
+                json.dumps(outcome.summary(), indent=2, sort_keys=True))
+        return 0
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(outcome.summary(), indent=2, sort_keys=True))
+    if outcome.status == "refused":
+        print("refused: %s (retry after %.3gs)"
+              % (outcome.reason, outcome.retry_after), file=sys.stderr)
+        return 3
+    print("failed: %s" % outcome.reason, file=sys.stderr)
+    return 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import run_bench
     from .perf.compare import (
@@ -756,6 +870,68 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--show-quarantines", type=int, default=10, metavar="N",
                    help="quarantine reasons to print (default %(default)s)")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the delta-serving daemon (drains cleanly on SIGTERM)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7423,
+                   help="TCP port; 0 binds an ephemeral one "
+                        "(default %(default)s)")
+    p.add_argument("--publish", action="append", default=[],
+                   metavar="PACKAGE=FILE[,FILE...]",
+                   help="register a package's releases, oldest first; "
+                        "repeatable")
+    p.add_argument("--algorithm", default="correcting",
+                   choices=sorted(ALGORITHMS))
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="concurrent requests before backpressure refuses "
+                        "with RETRY (default %(default)s)")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   help="per-request deadline in seconds, 0 disables "
+                        "(default %(default)s)")
+    p.add_argument("--chunk-size", type=int, default=1 << 16,
+                   help="DATA frame payload bytes (default %(default)s)")
+    p.add_argument("--retry-after", type=float, default=0.05,
+                   help="backoff hint carried by RETRY frames "
+                        "(default %(default)s)")
+    p.add_argument("--encode-workers", type=int, default=2)
+    p.add_argument("--fault-plan", default="", metavar="SPECS",
+                   help="deterministic fault injection, e.g. "
+                        "'serve.accept:p=0.05;serve.frame:nth=3'")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "pull",
+        help="download a delta from a serve daemon and apply it in place")
+    p.add_argument("server", metavar="HOST:PORT")
+    p.add_argument("package")
+    p.add_argument("image", help="the image file to bring up to date "
+                                 "(rewritten in place unless --out)")
+    p.add_argument("--want", default="latest",
+                   help="target version digest (default: latest)")
+    p.add_argument("--out", default="",
+                   help="write the updated image here instead of in place")
+    p.add_argument("--state", default="", metavar="DIR",
+                   help="crash-safe progress directory: an interrupted "
+                        "pull re-run with the same --state resumes")
+    p.add_argument("--scope", default="",
+                   help="fault scope (default: the package name)")
+    p.add_argument("--retries", type=int, default=5,
+                   help="download attempts (default %(default)s)")
+    p.add_argument("--max-boots", type=int, default=16)
+    p.add_argument("--backoff", type=float, default=0.05,
+                   help="base retry backoff seconds (default %(default)s)")
+    p.add_argument("--backoff-factor", type=float, default=2.0)
+    p.add_argument("--backoff-jitter", type=float, default=0.25)
+    p.add_argument("--fault-plan", default="", metavar="SPECS",
+                   help="client-side fault injection, e.g. "
+                        "'client.recv:nth=2;device.power:nth=1:fuel=600'")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--json", default="", metavar="FILE",
+                   help="write the pull outcome summary as JSON")
+    p.set_defaults(func=_cmd_pull)
 
     p = sub.add_parser("bench", help="run the performance suite and write "
                        "BENCH_*.json artifacts")

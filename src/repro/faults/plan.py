@@ -52,8 +52,23 @@ Sites wired into the library:
     delta at a drawn (or pinned) offset — the corrupted-download shape
     fleet campaigns inject; the ``IPD2`` trailer/segment CRCs must
     catch it before a byte of the image changes.
+``serve.accept``
+    In the :mod:`repro.serve` daemon, once per accepted connection: a
+    firing spec drops the connection before the request is read — the
+    client sees a truncated stream and must retry with backoff.
+``serve.frame``
+    In the daemon's frame-send path, once per outbound frame per
+    request scope: a firing mutation spec flips one bit of the encoded
+    frame on the wire, which the client's frame CRC must detect as a
+    structured ``IntegrityError`` (kind ``frame``), never a hang.
+``client.recv``
+    In the :func:`repro.serve.pull` client, once per inbound frame: a
+    firing spec simulates the connection dropping mid-download (error
+    kind ``transmission``); the client resumes from its verified byte
+    offset on the next attempt.
 
-The last three are *mutation* sites: :meth:`FaultPlan.corruption` returns
+``storage.bitflip``/``delta.truncate``/``delta.bitflip``/``serve.frame``
+are *mutation* sites: :meth:`FaultPlan.corruption` returns
 the firing spec (with a deterministic :meth:`FaultPlan.draw_offset`)
 instead of raising, and the caller corrupts its own state.  Detection —
 not avoidance — is what is under test.
@@ -85,6 +100,9 @@ KNOWN_SITES = (
     "storage.bitflip",
     "delta.truncate",
     "delta.bitflip",
+    "serve.accept",
+    "serve.frame",
+    "client.recv",
 )
 
 #: Error kinds a spec may raise, by name (kept picklable: classes are
@@ -381,10 +399,11 @@ class FaultPlan:
                     )
             if site == "device.power" and "error" not in kwargs:
                 kwargs["error"] = "power"
-            if site == "channel.transmit" and "error" not in kwargs:
+            if site in ("channel.transmit", "serve.accept", "client.recv") \
+                    and "error" not in kwargs:
                 kwargs["error"] = "transmission"
-            if site in ("storage.bitflip", "delta.bitflip") and \
-                    "error" not in kwargs:
+            if site in ("storage.bitflip", "delta.bitflip", "serve.frame") \
+                    and "error" not in kwargs:
                 kwargs["error"] = "bitflip"
             if site == "delta.truncate" and "error" not in kwargs:
                 kwargs["error"] = "truncate"

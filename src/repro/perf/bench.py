@@ -237,6 +237,10 @@ def build_suite(quick: bool) -> List[BenchOp]:
     # bar itself — zero silent failures with faults actually firing.
     ops.append(_campaign_op())
 
+    # Serving smoke: 200 concurrent pulls through the delta daemon under
+    # a network fault storm.  Same acceptance-bar oracle, network plane.
+    ops.append(_serve_op())
+
     if quick:
         return [op for op in ops if op.quick]
     return ops
@@ -351,6 +355,62 @@ def _campaign_op() -> BenchOp:
         run=run,
         input_bytes={"devices": devices, "images": image_bytes},
         processed_bytes=image_bytes,
+        quick=True,
+        oracle=oracle,
+    )
+
+
+def _serve_op() -> BenchOp:
+    """200 concurrent pulls through the delta daemon under a fault storm.
+
+    Throughput is applied image bytes per second across the whole run —
+    encode, framed transfer, journaled in-place apply.  The oracle is
+    the serving acceptance bar: every client terminal, applied means
+    byte-exact, duplicate (reference, target) pairs coalesced to one
+    encode each, and the injected faults actually fired.
+    """
+    from ..faults import FaultPlan
+    from ..serve import run_load
+
+    clients = 200
+    size = 8_192
+    server_plan = FaultPlan.parse(
+        "serve.accept:p=0.05;serve.frame:p=0.02", seed=_SEED)
+    client_plan = FaultPlan.parse("client.recv:p=0.03", seed=_SEED + 1)
+
+    def run():
+        return run_load(
+            clients=clients,
+            packages=3,
+            releases=3,
+            size=size,
+            seed=_SEED,
+            server_fault_plan=server_plan,
+            client_fault_plan=client_plan,
+            power_cut_client=17,
+            power_cut_fuel=600,
+            max_attempts=8,
+            backoff_base=0.001,
+            chunk_size=1 << 12,
+        )
+
+    def oracle(report) -> bool:
+        return (
+            not report.silent
+            and report.terminal == clients
+            and report.byte_exact == report.applied
+            and report.applied >= clients * 0.95
+            and report.counters.get("serve.encodes") == report.distinct_pairs
+            and report.power_cuts > 0
+            and report.client_faults > 0
+        )
+
+    return BenchOp(
+        name="serve_smoke_200pull",
+        op="serve.load",
+        run=run,
+        input_bytes={"clients": clients, "image": size},
+        processed_bytes=clients * size,
         quick=True,
         oracle=oracle,
     )

@@ -171,6 +171,14 @@ class ReferenceIndexCache:
         multi-second index build), while concurrent fetches of the
         *same* key serialize on its key lock and all but the first find
         the entry at the double-check, preserving build-at-most-once.
+
+        A key's build lock lives exactly as long as its entry: it stays
+        in the lock map while the artifact is cached (so re-fetches of a
+        hot key never re-allocate it) and is pruned the moment the entry
+        is evicted — or immediately after the build, when the artifact
+        was too large to retain.  Under eviction churn the lock map is
+        therefore bounded by the entry map instead of growing one stale
+        lock per key ever fetched.
         """
         with self._lock:
             entry = self._lookup(key)
@@ -186,6 +194,7 @@ class ReferenceIndexCache:
                     return entry[0], True
                 self._misses += 1
                 perf.add("cache.reference.misses")
+            retained = False
             try:
                 value = build()
                 nbytes = estimate(value)
@@ -193,15 +202,22 @@ class ReferenceIndexCache:
                     if nbytes <= self.max_bytes:
                         self._entries[key] = (value, nbytes)
                         self._bytes += nbytes
+                        retained = True
                         while self._bytes > self.max_bytes:
-                            _old_key, (_old_value, old_bytes) = \
+                            old_key, (_old_value, old_bytes) = \
                                 self._entries.popitem(last=False)
                             self._bytes -= old_bytes
                             self._evictions += 1
+                            if old_key == key:
+                                retained = False
+                            else:
+                                self._build_locks.pop(old_key, None)
                             perf.add("cache.reference.evictions")
             finally:
-                with self._lock:
-                    self._build_locks.pop(key, None)
+                if not retained:
+                    with self._lock:
+                        if key not in self._entries:
+                            self._build_locks.pop(key, None)
             return value, False
 
     # -- artifact getters ---------------------------------------------
@@ -461,6 +477,7 @@ class ReferenceIndexCache:
         """Drop every cached artifact (counters are preserved)."""
         with self._lock:
             self._entries.clear()
+            self._build_locks.clear()
             self._bytes = 0
 
     def __len__(self) -> int:

@@ -160,6 +160,37 @@ class TestFaultPlanParse:
         plan = FaultPlan.parse("channel.transmit:count=1")
         assert plan.specs[0].error == "transmission"
 
+    def test_serving_sites_are_known(self):
+        from repro.faults.plan import KNOWN_SITES
+        for site in ("serve.accept", "serve.frame", "client.recv"):
+            assert site in KNOWN_SITES
+
+    def test_parse_defaults_for_serving_sites(self):
+        # The network plane mirrors the storage plane's defaults: drops
+        # are transmission errors, frame damage is a bit flip.
+        plan = FaultPlan.parse(
+            "serve.accept:nth=1;client.recv:p=0.5;serve.frame:count=2")
+        assert plan.specs[0].error == "transmission"
+        assert plan.specs[1].error == "transmission"
+        assert plan.specs[2].error == "bitflip"
+
+    def test_serving_sites_fire_deterministically(self):
+        plan = FaultPlan.parse("serve.accept:nth=2", seed=5)
+        plan.check("serve.accept", scope="serve", index=1)
+        with pytest.raises(TransmissionError):
+            plan.check("serve.accept", scope="serve", index=2)
+        # Same (seed, site, scope, index) -> same decision, always.
+        with pytest.raises(TransmissionError):
+            plan.check("serve.accept", scope="serve", index=2)
+
+    def test_serve_frame_corruption_spec(self):
+        plan = FaultPlan.parse("serve.frame:nth=1", seed=5)
+        spec = plan.corruption("serve.frame", "pkg|abc", 1)
+        assert spec is not None and spec.error == "bitflip"
+        offset = plan.draw_offset("serve.frame", "pkg|abc", 1, 100)
+        assert 0 <= offset < 100
+        assert offset == plan.draw_offset("serve.frame", "pkg|abc", 1, 100)
+
     def test_parse_rejects_garbage(self):
         with pytest.raises(ValueError):
             FaultPlan.parse("diff.worker")  # no trigger
