@@ -90,6 +90,8 @@ class ConversionReport:
     cycles_found: int = 0
     total_cycle_length: int = 0
     revisits: int = 0
+    #: Vertices the acyclic peel ordered without touching the scalar DFS.
+    peeled: int = 0
     #: Wall-clock seconds spent converting (digraph + sort + emit).
     seconds: float = 0.0
 
@@ -204,6 +206,7 @@ def assemble_in_place(
         cycles_found=sort.cycles_found,
         total_cycle_length=sort.total_cycle_length,
         revisits=sort.revisits,
+        peeled=sort.peeled,
     )
 
     # Evicted copies become spill/fill pairs while scratch lasts (largest
@@ -273,6 +276,7 @@ def assemble_in_place(
             "convert.evictions": report.evicted_count,
             "convert.eviction_bytes": report.evicted_bytes,
             "convert.cycles_found": report.cycles_found,
+            "convert.peeled": report.peeled,
         })
     return InPlaceResult(out, report)
 

@@ -23,12 +23,11 @@ the paper's claim made executable.
 from __future__ import annotations
 
 import time
-from bisect import bisect_right
 from typing import List, Optional, Union
 
 from .commands import AddCommand, Command, CopyCommand
 from .convert import InPlaceResult, _resolve_evictions, assemble_in_place
-from .crwi import CRWIDigraph, OffsetPricing
+from .crwi import CRWIDigraph, OffsetPricing, _build_from_sorted
 
 Buffer = Union[bytes, bytearray, memoryview]
 
@@ -84,28 +83,17 @@ class InPlaceDeltaBuilder:
         return self._write_cursor
 
     def _build_graph(self) -> CRWIDigraph:
-        """CRWI digraph over the fed copies, exploiting their sortedness."""
-        copies = self._copies
-        graph = CRWIDigraph(
-            vertices=list(copies),
-            successors=[[] for _ in copies],
-            predecessors=[[] for _ in copies],
-        )
-        if not copies:
-            return graph
-        starts = [c.dst for c in copies]
-        stops = [c.dst + c.length - 1 for c in copies]
-        for i, cmd in enumerate(copies):
-            read = cmd.read_interval
-            lo = bisect_right(starts, read.start) - 1
-            if lo < 0 or stops[lo] < read.start:
-                lo += 1
-            hi = bisect_right(starts, read.stop)
-            for j in range(lo, hi):
-                if j != i:
-                    graph.successors[i].append(j)
-                    graph.predecessors[j].append(i)
-        return graph
+        """CRWI digraph over the fed copies, exploiting their sortedness.
+
+        The feed-order check guarantees the copies arrive sorted by
+        write offset with disjoint write intervals, so this routes
+        through the same sorted-input constructor as
+        :func:`repro.core.crwi.build_crwi_digraph` (vectorized CSR
+        kernels when the fast paths are on, the scalar binary-search
+        loop otherwise) — the two pipelines share one edge builder by
+        construction.
+        """
+        return _build_from_sorted(list(self._copies))
 
     def finish(
         self,

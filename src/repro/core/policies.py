@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
 
 from ..exceptions import CycleBreakError
+from . import _kernels as _k
 from .crwi import CRWIDigraph
 
 
@@ -135,12 +136,38 @@ def make_policy(name: str, graph: Optional[CRWIDigraph] = None) -> CyclePolicy:
 # ---------------------------------------------------------------------------
 
 
+def _acyclic_by_peel(graph: CRWIDigraph, removed: Set[int]) -> Optional[bool]:
+    """Array-kernel acyclicity verdict for ``graph`` minus ``removed``.
+
+    ``True``/``False`` when the CSR peel could decide, ``None`` when the
+    fast paths are off (the caller falls through to the scalar DFS).
+    The peel is exact — a full forward Kahn pass empties the live
+    subgraph iff it is acyclic — so short-circuiting on ``True`` cannot
+    change any solver's output, only skip a DFS that would return
+    ``None`` anyway.  This is what lets the whole-graph eviction solvers
+    run their (many) acyclicity probes on flat arrays.
+    """
+    if not _k.fast_enabled() or graph.vertex_count < _k.ARRAY_PEEL_MIN:
+        return None
+    csr = graph.csr()
+    if csr is None:
+        return None
+    np = _k.np
+    dead = np.zeros(graph.vertex_count, dtype=bool)
+    if removed:
+        dead[np.array(sorted(removed), dtype=np.int64)] = True
+    return _k.layered_toposort(csr[0], csr[1], dead) is not None
+
+
 def _has_cycle_excluding(graph: CRWIDigraph, removed: Set[int]) -> Optional[List[int]]:
     """A cycle in ``graph`` avoiding ``removed`` vertices, or ``None``.
 
     Iterative colored DFS; returns the cycle as a vertex list in path
-    order when one exists.
+    order when one exists.  When the array kernels prove the residual
+    graph acyclic the DFS is skipped outright.
     """
+    if _acyclic_by_peel(graph, removed) is True:
+        return None
     color = [0] * graph.vertex_count  # 0 white, 1 gray, 2 black
     parent: Dict[int, int] = {}
     for root in range(graph.vertex_count):

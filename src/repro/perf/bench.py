@@ -38,6 +38,9 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.apply import apply_delta, apply_in_place, reconstruct
 from ..core.convert import make_in_place
+from ..core.crwi import build_crwi_digraph
+from ..core.policies import LocallyMinimumPolicy
+from ..core.toposort import cycle_breaking_toposort
 from ..delta import _kernels
 from ..delta import encode_delta, greedy_delta, onepass_delta, correcting_delta
 from ..delta.rolling import (
@@ -91,7 +94,8 @@ class BenchOp:
                  input_bytes: Dict[str, int], processed_bytes: int,
                  quick: bool = False,
                  oracle: Optional[Callable[[object], bool]] = None,
-                 cleanup: Optional[Callable[[], None]] = None):
+                 cleanup: Optional[Callable[[], None]] = None,
+                 min_seconds: float = 0.0):
         self.name = name
         self.op = op
         self.run = run
@@ -103,6 +107,12 @@ class BenchOp:
         self.oracle = oracle
         #: Teardown run after the suite (close pools, unlink segments).
         self.cleanup = cleanup
+        #: Keep re-running (best-of) until this much timed wall has
+        #: accumulated.  Sub-millisecond ops are pure scheduler noise at
+        #: a handful of repeats; a small time budget pins their best run
+        #: tightly enough to gate speedup floors on.  Zero keeps the
+        #: plain ``repeats`` behavior of the long ops.
+        self.min_seconds = min_seconds
 
 
 def _diff_op(name_suffix: str, algorithm: str, reference, version,
@@ -138,6 +148,103 @@ def _diff_op(name_suffix: str, algorithm: str, reference, version,
         processed_bytes=len(version),
         quick=quick,
         oracle=oracle,
+    )
+
+
+def _convert_op(name_suffix: str, script, reference,
+                input_bytes: Dict[str, int], processed_bytes: int) -> BenchOp:
+    """An in-place conversion op with a byte-identity oracle.
+
+    The oracle re-runs the conversion with the fast paths pinned off and
+    requires the encoded in-place delta — and the report's accounting —
+    to match exactly: the vectorized convert plane may only be faster,
+    never different.
+    """
+
+    def run():
+        return make_in_place(script, reference,
+                             offset_encoding_size=varint_size)
+
+    def oracle(result) -> bool:
+        previous = use_fast_paths(False)
+        try:
+            expected = make_in_place(script, reference,
+                                     offset_encoding_size=varint_size)
+        finally:
+            use_fast_paths(previous)
+        got, want = result.report, expected.report
+        return (
+            encode_delta(result.script) == encode_delta(expected.script)
+            and got.evicted_count == want.evicted_count
+            and got.eviction_cost == want.eviction_cost
+            and got.cycles_found == want.cycles_found
+            and got.peeled == want.peeled
+        )
+
+    return BenchOp(
+        name="convert_" + name_suffix,
+        op="convert.in_place",
+        run=run,
+        input_bytes=input_bytes,
+        processed_bytes=processed_bytes,
+        quick=True,
+        oracle=oracle,
+        min_seconds=0.5,
+    )
+
+
+def _toposort_op() -> BenchOp:
+    """Cycle-breaking toposort on a dense-edit 1.5 MiB digraph.
+
+    A content-edit-heavy 4.5 edits/KiB profile (no block moves) yields
+    a graph past ``ARRAY_PEEL_MIN`` whose cost is the acyclic peel, not
+    the policy DFS — the stage the adaptive array/scalar hybrid covers.
+    Such shift-driven graphs peel in narrow chain waves, the adversarial
+    shape for a wave-batched kernel, so this op is the never-worse
+    tripwire for the dispatch heuristics rather than a speedup
+    showcase.  The digraph and costs are prebuilt (under whichever mode
+    the run pins), so the clock sees the sorter alone.  The oracle
+    replays graph build + sort on the scalar reference paths and
+    requires the identical order, eviction set, and peel split.
+    """
+    rng = random.Random(_SEED + 2)
+    reference = make_binary_blob(rng, LARGE_SIZE)
+    version = mutate(reference, rng,
+                     MutationProfile(edits_per_kb=4.5, max_edit=192,
+                                     weights={"insert": 0.35, "delete": 0.3,
+                                              "replace": 0.35}))
+    script = greedy_delta(reference, version)
+    graph = build_crwi_digraph(script)
+    costs = graph.costs(varint_size)
+
+    def run():
+        return cycle_breaking_toposort(graph, LocallyMinimumPolicy(), costs)
+
+    def oracle(result) -> bool:
+        previous = use_fast_paths(False)
+        try:
+            oracle_graph = build_crwi_digraph(script)
+            expected = cycle_breaking_toposort(
+                oracle_graph, LocallyMinimumPolicy(),
+                oracle_graph.costs(varint_size))
+        finally:
+            use_fast_paths(previous)
+        return (
+            result.order == expected.order
+            and result.evicted == expected.evicted
+            and result.cycles_found == expected.cycles_found
+            and result.peeled == expected.peeled
+        )
+
+    return BenchOp(
+        name="toposort_1536k",
+        op="convert.toposort",
+        run=run,
+        input_bytes={"reference": len(reference), "version": len(version)},
+        processed_bytes=len(version),
+        quick=True,
+        oracle=oracle,
+        min_seconds=0.5,
     )
 
 
@@ -191,10 +298,6 @@ def build_suite(quick: bool) -> List[BenchOp]:
     converted = make_in_place(script, small_ref,
                               offset_encoding_size=varint_size)
 
-    def run_convert():
-        return make_in_place(script, small_ref,
-                             offset_encoding_size=varint_size)
-
     def run_apply_two_space():
         return apply_delta(script, small_ref)
 
@@ -202,15 +305,24 @@ def build_suite(quick: bool) -> List[BenchOp]:
         return apply_in_place(converted.script, bytearray(small_ref))
 
     small_sizes = {"reference": len(small_ref), "version": len(small_ver)}
-    ops.append(BenchOp("convert_256k", "convert.in_place", run_convert,
-                       small_sizes, len(small_ver), quick=False))
+    ops.append(_convert_op("256k", script, small_ref, small_sizes,
+                           len(small_ver)))
+    # Conversion at the tentpole's >= 1 MiB scale: the large pair's
+    # greedy script through the full convert plane (CRWI build, pricing,
+    # cycle breaking, emission).
+    large_script = greedy_delta(reference, version)
+    ops.append(_convert_op(large, large_script, reference,
+                           {"reference": len(reference),
+                            "version": len(version)},
+                           len(version)))
+    ops.append(_toposort_op())
     ops.append(BenchOp("apply_two_space_256k", "apply.two_space",
                        run_apply_two_space, small_sizes, len(small_ver),
-                       quick=True,
+                       quick=True, min_seconds=0.25,
                        oracle=lambda out: bytes(out) == bytes(small_ver)))
     ops.append(BenchOp("apply_in_place_256k", "apply.in_place",
                        run_apply_in_place, small_sizes, len(small_ver),
-                       quick=False,
+                       quick=False, min_seconds=0.25,
                        oracle=lambda out: bytes(out) == bytes(small_ver)))
 
     # Batch-pipeline transport comparison: one reference serving a batch
@@ -421,17 +533,23 @@ def run_op(op: BenchOp, repeats: int) -> Dict[str, object]:
 
     One untimed warmup run precedes the timed repeats so one-time costs
     (power-table construction, allocator growth) do not pollute the
-    measurement.
+    measurement.  An op with ``min_seconds`` set keeps accumulating
+    best-of repeats (capped at 10000) until its time budget is spent.
     """
     op.run()
     best_seconds = None
     best_counters: Dict[str, float] = {}
     result = None
-    for _ in range(max(1, repeats)):
+    total = 0.0
+    runs = 0
+    while runs < max(1, repeats) or (total < op.min_seconds
+                                     and runs < 10_000):
         with recording() as recorder:
             t0 = time.perf_counter()
             result = op.run()
             elapsed = time.perf_counter() - t0
+        total += elapsed
+        runs += 1
         if best_seconds is None or elapsed < best_seconds:
             best_seconds = elapsed
             best_counters = recorder.counters
@@ -446,7 +564,7 @@ def run_op(op: BenchOp, repeats: int) -> Dict[str, object]:
         "wall_seconds": best_seconds,
         "throughput_mb_s": op.processed_bytes / best_seconds / 1e6
         if best_seconds else None,
-        "repeats": max(1, repeats),
+        "repeats": runs,
         "counters": best_counters,
         "meta": {
             "fast_paths": fast_paths_enabled(),

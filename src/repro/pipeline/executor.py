@@ -373,7 +373,11 @@ def _diff_stage(
     """
     if cache is None:
         cache = _PROCESS_CACHE
-    started_wall = time.time()
+    # Monotonic, not wall clock: submitted_at crosses process boundaries,
+    # and CLOCK_MONOTONIC is system-wide on the supported platforms, so
+    # queue/total durations stay immune to wall-clock jumps (NTP steps
+    # were skewing the section-7 runtime benches).
+    started_wall = time.perf_counter()
     queue_seconds = max(0.0, started_wall - submitted_at)
     faults: List[str] = []
     if plan is not None:
@@ -781,7 +785,7 @@ class DeltaPipeline:
             diff_seconds=diff_seconds,
             convert_seconds=convert_seconds,
             encode_seconds=encode_seconds,
-            total_seconds=max(0.0, time.time() - submitted_at),
+            total_seconds=max(0.0, time.perf_counter() - submitted_at),
             version_bytes=len(job.version),
             delta_bytes=len(payload),
             conversion=converted.report,
@@ -819,7 +823,7 @@ class DeltaPipeline:
     def _diff_attempt(self, job: PipelineJob, algorithm: str, index: int) -> Tuple:
         """One inline diff attempt; ``("ok", stage_tuple)`` or
         ``("error", failure_string)`` — never raises."""
-        submitted = time.time()
+        submitted = time.perf_counter()
         if algorithm == RAW_REWRITE:
             t0 = time.perf_counter()
             script = _raw_rewrite_script(job.version)
@@ -967,7 +971,7 @@ class DeltaPipeline:
                     arena = self._ensure_arena()
                 first_futs = []
                 for job in jobs:
-                    submitted = time.time()
+                    submitted = time.perf_counter()
                     if self.executor == "process-shm":
                         # Publish once per distinct reference (the arena
                         # dedupes by content digest and refcounts), once

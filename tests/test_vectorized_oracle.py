@@ -17,6 +17,21 @@ corpus-style inputs:
   ``membership`` prefilter;
 * whole differs (greedy, onepass, correcting): encoded deltas with the
   fast paths on must equal the encoded deltas with them pinned off.
+
+The convert plane (``repro.core``) makes the same promise for its array
+kernels and this suite holds it to that too:
+
+* ``build_crwi_digraph`` fast vs scalar: vertices, adjacency (both
+  orientations), ``edges()``, ``edge_count``, and batch-priced
+  ``costs()`` under fixed and varint pricing;
+* ``varint_sizes`` vs ``varint_size`` across every codeword boundary;
+* the array peel (``toposort_peel``) vs ``_peel_reference``, including
+  the narrow-wave scalar handoff forced both ways;
+* whole sorts (``cycle_breaking_toposort``, ``plain_toposort``,
+  ``locality_toposort``) and whole conversions (``make_in_place``)
+  across policies, orderings, and pricings — byte-identical scripts and
+  identical reports on random and adversarial (Figure 2, Figure 3,
+  rotation) inputs.
 """
 
 from __future__ import annotations
@@ -459,3 +474,210 @@ def test_use_fast_paths_round_trips():
         assert fast_paths_enabled() is True
     finally:
         use_fast_paths(original)
+
+
+# ---------------------------------------------------------------------------
+# Convert plane: CRWI construction, pricing, peel, sorts, conversions
+# ---------------------------------------------------------------------------
+
+from repro.analysis.adversarial import (  # noqa: E402
+    figure2_case,
+    figure3_case,
+    rotation_medley,
+)
+from repro.core import _kernels as core_kernels  # noqa: E402
+from repro.core.convert import make_in_place  # noqa: E402
+from repro.core.crwi import (  # noqa: E402
+    build_crwi_digraph,
+    lemma1_bound,
+    read_bytes_bound,
+)
+from repro.core.policies import LocallyMinimumPolicy  # noqa: E402
+from repro.core.toposort import (  # noqa: E402
+    _peel,
+    _peel_reference,
+    cycle_breaking_toposort,
+    locality_toposort,
+    order_respects_edges,
+    plain_toposort,
+)
+from repro.delta.varint import varint_size  # noqa: E402
+
+
+def _convert_cases():
+    """(label, script, reference) corpus for the convert-plane oracles.
+
+    Random mutated pairs exercise the shift-chain shapes real deltas
+    produce; the adversarial constructions pin the all-core (Figure 2),
+    wide-wave (Figure 3), and pure-cycle (rotation) extremes.
+    """
+    rng = random.Random(0xC0DE)
+    cases = []
+    for mutator in MUTATORS:
+        base = _mutated(rng, rng.randbytes(12000), "edits")
+        version = _mutated(rng, base, mutator)
+        cases.append(("greedy_" + mutator, greedy_delta(base, version), base))
+    fig2 = figure2_case(4)
+    cases.append(("figure2", fig2.script, fig2.reference))
+    fig3 = figure3_case(6)
+    cases.append(("figure3", fig3.script, fig3.reference))
+    medley = rotation_medley(64, [2, 3, 5, 9])
+    cases.append(("rotation_medley", medley.script, medley.reference))
+    return cases
+
+
+CONVERT_CASES = _convert_cases()
+CONVERT_IDS = [label for label, _, _ in CONVERT_CASES]
+
+
+def _graph_fingerprint(graph):
+    """Everything the public surface exposes, in canonical form."""
+    return {
+        "vertices": list(graph.vertices),
+        "successors": [list(adj) for adj in graph.successors],
+        "predecessors": [list(adj) for adj in graph.predecessors],
+        "edges": list(graph.edges()),
+        "edge_count": graph.edge_count,
+        "costs_fixed": graph.costs(4),
+        "costs_varint": graph.costs(varint_size),
+    }
+
+
+@needs_numpy
+@pytest.mark.parametrize("label,script,reference", CONVERT_CASES,
+                         ids=CONVERT_IDS)
+def test_build_crwi_digraph_identical_fast_vs_scalar(label, script, reference):
+    previous = use_fast_paths(True)
+    try:
+        fast = build_crwi_digraph(script)
+        use_fast_paths(False)
+        slow = build_crwi_digraph(script)
+    finally:
+        use_fast_paths(previous)
+    assert _graph_fingerprint(fast) == _graph_fingerprint(slow), label
+
+
+@needs_numpy
+@pytest.mark.parametrize("label,script,reference", CONVERT_CASES,
+                         ids=CONVERT_IDS)
+def test_crwi_lemma1_bounds(label, script, reference, fast_on):
+    graph = build_crwi_digraph(script)
+    assert graph.edge_count <= read_bytes_bound(script) <= lemma1_bound(script)
+
+
+@needs_numpy
+def test_crwi_costs_arbitrary_callable_falls_back(fast_on):
+    """A non-identity pricing callable must price like ``varint_size``."""
+    _, script, _ = CONVERT_CASES[0]
+    graph = build_crwi_digraph(script)
+    assert graph.costs(lambda off: varint_size(off)) == graph.costs(varint_size)
+
+
+@needs_numpy
+def test_varint_sizes_kernel_matches_scalar():
+    np = core_kernels.np
+    boundaries = [0, 1]
+    for width in range(1, 9):
+        edge = 1 << (7 * width)
+        boundaries.extend([edge - 1, edge])
+    values = np.array(boundaries, dtype=np.int64)
+    assert core_kernels.varint_sizes(values).tolist() == \
+        [varint_size(v) for v in boundaries]
+
+
+@needs_numpy
+@pytest.mark.parametrize("narrow_wave", [0, 1 << 30],
+                         ids=["pure_numpy", "scalar_handoff"])
+@pytest.mark.parametrize("label,script,reference", CONVERT_CASES,
+                         ids=CONVERT_IDS)
+def test_toposort_peel_matches_reference(label, script, reference,
+                                         narrow_wave, fast_on, monkeypatch):
+    """Kernel peel == scalar peel, with the hybrid forced both ways.
+
+    ``NARROW_WAVE = 0`` keeps every wave in numpy; ``1 << 30`` hands the
+    very first wave to the scalar finisher — both must replay the
+    reference wave sequence exactly.
+    """
+    monkeypatch.setattr(core_kernels, "ARRAY_PEEL_MIN", 0)
+    monkeypatch.setattr(core_kernels, "NARROW_WAVE", narrow_wave)
+    graph = build_crwi_digraph(script)
+    expected = _peel_reference(graph)
+    prefix, core, suffix, used_fast = _peel(graph)
+    assert used_fast
+    assert (prefix, core, suffix) == expected, label
+
+
+@needs_numpy
+@pytest.mark.parametrize("label,script,reference", CONVERT_CASES,
+                         ids=CONVERT_IDS)
+def test_cycle_breaking_toposort_identical_fast_vs_scalar(
+        label, script, reference, monkeypatch):
+    monkeypatch.setattr(core_kernels, "ARRAY_PEEL_MIN", 0)
+    previous = use_fast_paths(True)
+    try:
+        graph = build_crwi_digraph(script)
+        fast = cycle_breaking_toposort(graph, LocallyMinimumPolicy(),
+                                       graph.costs(varint_size))
+        use_fast_paths(False)
+        graph = build_crwi_digraph(script)
+        slow = cycle_breaking_toposort(graph, LocallyMinimumPolicy(),
+                                       graph.costs(varint_size))
+    finally:
+        use_fast_paths(previous)
+    assert fast.order == slow.order, label
+    assert fast.evicted == slow.evicted, label
+    assert fast.cycles_found == slow.cycles_found, label
+    assert fast.peeled == slow.peeled, label
+    assert order_respects_edges(graph, fast)
+
+
+@needs_numpy
+@pytest.mark.parametrize("sort", [plain_toposort, locality_toposort],
+                         ids=["plain", "locality"])
+def test_acyclic_sorts_identical_fast_vs_scalar(sort, monkeypatch):
+    monkeypatch.setattr(core_kernels, "ARRAY_PEEL_MIN", 0)
+    monkeypatch.setattr(core_kernels, "ARRAY_SETUP_MIN", 0)
+    for label, script, reference in CONVERT_CASES:
+        previous = use_fast_paths(True)
+        try:
+            graph = build_crwi_digraph(script)
+            evicted = cycle_breaking_toposort(
+                graph, LocallyMinimumPolicy()).evicted
+            fast = sort(graph, excluding=evicted)
+            use_fast_paths(False)
+            graph = build_crwi_digraph(script)
+            slow = sort(graph, excluding=evicted)
+        finally:
+            use_fast_paths(previous)
+        assert fast == slow, (sort.__name__, label)
+
+
+@needs_numpy
+@pytest.mark.parametrize("policy,ordering,pricing",
+                         [("local-min", "dfs", 4),
+                          ("local-min", "locality", varint_size),
+                          ("constant", "dfs", varint_size),
+                          ("greedy-global", "dfs", 4)],
+                         ids=["localmin_dfs_fixed", "localmin_loc_varint",
+                              "constant_dfs_varint", "global_dfs_fixed"])
+@pytest.mark.parametrize("label,script,reference", CONVERT_CASES,
+                         ids=CONVERT_IDS)
+def test_make_in_place_identical_fast_vs_scalar(label, script, reference,
+                                                policy, ordering, pricing,
+                                                monkeypatch):
+    monkeypatch.setattr(core_kernels, "ARRAY_PEEL_MIN", 0)
+    monkeypatch.setattr(core_kernels, "ARRAY_SETUP_MIN", 0)
+    previous = use_fast_paths(True)
+    try:
+        fast = make_in_place(script, reference, policy=policy,
+                             ordering=ordering, offset_encoding_size=pricing)
+        use_fast_paths(False)
+        slow = make_in_place(script, reference, policy=policy,
+                             ordering=ordering, offset_encoding_size=pricing)
+    finally:
+        use_fast_paths(previous)
+    assert encode_delta(fast.script) == encode_delta(slow.script), label
+    for field in ("evicted_count", "evicted_bytes", "eviction_cost",
+                  "cycles_found", "peeled"):
+        assert getattr(fast.report, field) == getattr(slow.report, field), \
+            (label, field)
