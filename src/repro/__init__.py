@@ -35,6 +35,7 @@ from . import (
     fleet,
     pipeline,
     serve,
+    store,
     workloads,
 )
 from .core import (
@@ -209,6 +210,7 @@ __all__ = [
     "reconstruct",
     "serve",
     "storage_crc32",
+    "store",
     "verify_reference",
     "workloads",
 ]

@@ -19,8 +19,14 @@ Subcommands mirror the library's pipeline:
   (``--json`` writes the machine-readable batch summary)
 * ``campaign`` — simulate a fleet-wide rollout through the journaled
   updater under fault injection, emitting a JSON report artifact
+  (``--store-dir`` sources cohort payloads from a pack store's
+  collapsed delta chains)
+* ``store``    — manage a persistent content-addressed pack store
+  (see docs/STORE.md): ``init``, ``add``, ``log``, ``extract``,
+  ``gc``, ``fsck``
 * ``serve``    — run the delta-serving daemon (see docs/SERVING.md);
-  drains gracefully on SIGTERM and exits 0
+  drains gracefully on SIGTERM and exits 0; ``--store-dir`` serves
+  straight from a pack store
 * ``pull``     — fetch a delta from a daemon and apply it in place via
   the journaled updater; resumable with ``--state``
 
@@ -479,10 +485,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         max_retries=args.retries,
         max_boots=args.max_boots,
     )
+    store = None
+    if args.store_dir:
+        from .store import PackStore
+        store = PackStore(args.store_dir)
     report = run_campaign(
         train, fleet, policy=policy, fault_plan=fault_plan,
         seed=args.seed, executor=args.executor, workers=args.workers,
-        algorithm=args.algorithm,
+        algorithm=args.algorithm, store=store,
     )
     counters = report.counters
     bandwidth = report.bandwidth
@@ -528,13 +538,132 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if silent else 0
 
 
+def _store_config(args: argparse.Namespace):
+    """A :class:`~repro.store.StoreConfig` from the shared store flags."""
+    from .store import StoreConfig
+
+    kwargs = {}
+    if getattr(args, "algorithm", None):
+        kwargs["algorithm"] = args.algorithm
+    if getattr(args, "policy", None):
+        kwargs["policy"] = args.policy
+    if getattr(args, "max_chain_depth", None):
+        kwargs["max_chain_depth"] = args.max_chain_depth
+    if getattr(args, "no_fsync", False):
+        kwargs["fsync"] = False
+    return StoreConfig(**kwargs)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .store import PackStore
+
+    if args.store_command == "init":
+        store = PackStore.init(args.dir, _store_config(args))
+        print("initialized empty pack store at %s" % store.root)
+        return 0
+
+    store = PackStore(args.dir, _store_config(args))
+    if args.store_command == "add":
+        for path in args.files:
+            digest = store.publish(args.package, _read(path))
+            info = store.log(args.package)[-1]
+            print("published %s %s (%s, stored %s as %s)"
+                  % (args.package, digest[:12], path,
+                     format_bytes(int(info["stored_size"])), info["stored"]))
+        return 0
+    if args.store_command == "log":
+        packages = [args.package] if args.package else store.packages()
+        if args.json:
+            payload = {p: store.log(p) for p in packages}
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        for package in packages:
+            rows = [["digest", "stored", "base", "depth", "size", "stored"]]
+            for entry in store.log(package):
+                rows.append([
+                    str(entry["digest"])[:12],
+                    str(entry["stored"]),
+                    str(entry["base"])[:12] or "-",
+                    str(entry["depth"]),
+                    format_bytes(int(entry["size"])),
+                    format_bytes(int(entry["stored_size"])),
+                ])
+            print(package)
+            print(render_table(rows))
+        stats = store.stats()
+        print("%d object(s) in %s (%s pack, %s of version data)"
+              % (stats["objects"], stats["pack"],
+                 format_bytes(int(stats["pack_bytes"])),
+                 format_bytes(int(stats["object_bytes"]))))
+        return 0
+    if args.store_command == "extract":
+        if args.digest == "latest":
+            digest, data = store.latest(args.package)
+        else:
+            digest = args.digest
+            try:
+                data = store.get(args.package, digest)
+            except KeyError:
+                raise ValueError(
+                    "package %r has no version with digest %s"
+                    % (args.package, digest)) from None
+        _write(args.output, data)
+        print("extracted %s %s -> %s (%s)"
+              % (args.package, digest[:12], args.output,
+                 format_bytes(len(data))))
+        return 0
+    if args.store_command == "fsck":
+        report = store.fsck(verify_objects=not args.no_verify)
+        if args.json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+            return 0 if report.ok else 1
+        print("%s: %d package(s), %d version(s), %d object(s), "
+              "%d verified"
+              % (args.dir, report.packages, report.versions,
+                 report.objects, report.verified))
+        for problem in report.problems:
+            where = (" at offset %d" % problem.offset
+                     if problem.offset >= 0 else "")
+            print("  %s%s: %s" % (problem.kind, where, problem.detail),
+                  file=sys.stderr)
+        if report.ok:
+            print("fsck: clean")
+            return 0
+        print("fsck: %d problem(s); run `ipdelta store gc %s --repair`"
+              % (len(report.problems), args.dir), file=sys.stderr)
+        return 1
+    if args.store_command == "gc":
+        report = store.gc(repair=args.repair,
+                          keep_last=args.keep_last or None)
+        if args.json:
+            print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+            return 0
+        print("gc: %d -> %d object(s), %s -> %s; %d redeltified, "
+              "%d object(s) dropped, %d version(s) trimmed"
+              % (report.objects_before, report.objects_after,
+                 format_bytes(report.pack_bytes_before),
+                 format_bytes(report.pack_bytes_after),
+                 report.redeltified, report.dropped_objects,
+                 report.dropped_versions))
+        if report.repaired:
+            print("repaired %d problem(s) (%s reclaimed from the damaged "
+                  "tail)" % (len(report.repaired),
+                             format_bytes(report.repaired_bytes)))
+        return 0
+    raise ValueError("unknown store command %r" % args.store_command)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
-    from .serve import DeltaServer, ReleaseStore, ServeConfig
+    from .serve import DeltaServer, ServeConfig
+    from .store import MemoryStore, PackStore
 
-    store = ReleaseStore()
+    if args.store_dir:
+        store = PackStore(args.store_dir)
+    else:
+        store = MemoryStore()
     for spec in args.publish:
         package, _, paths = spec.partition("=")
         package = package.strip()
@@ -547,7 +676,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             digest = store.publish(package, Path(path).read_bytes())
             print("published %s %s (%s)" % (package, digest[:12], path))
     if not store.packages():
-        raise ValueError("nothing to serve: pass at least one --publish")
+        raise ValueError(
+            "nothing to serve: pass at least one --publish"
+            + ("" if args.store_dir else " (or --store-dir)"))
     fault_plan = None
     if args.fault_plan:
         fault_plan = FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
@@ -580,11 +711,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     counters = asyncio.run(_run())
     print("drained: %d connections, %d served, %d refused, %d encodes "
-          "(%d coalesced, %d payload hits), %d errors"
+          "(%d chain-served, %d coalesced, %d payload hits), %d errors"
           % (counters["connections"], counters["served"],
              counters["refused"], counters["encodes"],
-             counters["coalesced"], counters["payload_hits"],
-             counters["errors"]))
+             counters["chain_served"], counters["coalesced"],
+             counters["payload_hits"], counters["errors"]))
     return 0
 
 
@@ -869,7 +1000,75 @@ def build_parser() -> argparse.ArgumentParser:
                         "(large for big fleets)")
     p.add_argument("--show-quarantines", type=int, default=10, metavar="N",
                    help="quarantine reasons to print (default %(default)s)")
+    p.add_argument("--store-dir", default="", metavar="DIR",
+                   help="publish the release train into this pack store "
+                        "and source cohort payloads from its collapsed "
+                        "delta chains ('compose' encode only)")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "store",
+        help="manage a persistent content-addressed pack store "
+             "(docs/STORE.md)")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    def _store_common(sp, mutating=True):
+        sp.add_argument("dir", help="store directory")
+        if mutating:
+            sp.add_argument("--algorithm", default="",
+                            choices=[""] + sorted(ALGORITHMS),
+                            help="differencing algorithm for stored deltas")
+            sp.add_argument("--policy", default="",
+                            choices=["", "constant", "local-min",
+                                     "max-out-degree", "optimal",
+                                     "greedy-global"],
+                            help="cycle-breaking policy for served chains")
+            sp.add_argument("--max-chain-depth", type=int, default=0,
+                            metavar="N", help="longest allowed delta chain")
+            sp.add_argument("--no-fsync", action="store_true",
+                            help="skip fsync on appends and renames "
+                                 "(faster, weaker crash safety)")
+
+    sp = store_sub.add_parser("init", help="create an empty store")
+    _store_common(sp)
+    sp = store_sub.add_parser(
+        "add", help="publish version files (oldest first)")
+    _store_common(sp)
+    sp.add_argument("package")
+    sp.add_argument("files", nargs="+", metavar="FILE")
+    sp = store_sub.add_parser(
+        "log", help="list versions and their storage (deltas, depths)")
+    _store_common(sp, mutating=False)
+    sp.add_argument("package", nargs="?", default="",
+                    help="one package (default: all)")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable per-version entries")
+    sp = store_sub.add_parser(
+        "extract", help="reconstruct one version to a file")
+    _store_common(sp, mutating=False)
+    sp.add_argument("package")
+    sp.add_argument("digest", help="content digest, or 'latest'")
+    sp.add_argument("output")
+    sp = store_sub.add_parser(
+        "gc", help="repack: re-deltify, drop unreachable objects; "
+                   "--repair recovers a damaged store")
+    _store_common(sp)
+    sp.add_argument("--repair", action="store_true",
+                    help="accept a damaged store and rebuild from its "
+                         "intact records")
+    sp.add_argument("--keep-last", type=int, default=0, metavar="N",
+                    help="trim every package to its newest N versions")
+    sp.add_argument("--json", action="store_true",
+                    help="print the repro.store.gc/1 report")
+    sp = store_sub.add_parser(
+        "fsck", help="verify every record and chain; exit 1 on damage")
+    _store_common(sp, mutating=False)
+    sp.add_argument("--no-verify", action="store_true",
+                    help="structural checks only; skip reconstructing "
+                         "every version")
+    sp.add_argument("--json", action="store_true",
+                    help="print the repro.store.fsck/1 report")
+    p.set_defaults(func=_cmd_store)
 
     p = sub.add_parser(
         "serve",
@@ -882,6 +1081,11 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="PACKAGE=FILE[,FILE...]",
                    help="register a package's releases, oldest first; "
                         "repeatable")
+    p.add_argument("--store-dir", default="", metavar="DIR",
+                   help="serve from a persistent pack store (ipdelta "
+                        "store init/add); --publish lands in it too, and "
+                        "clients several versions behind get one "
+                        "collapsed chain delta")
     p.add_argument("--algorithm", default="correcting",
                    choices=sorted(ALGORITHMS))
     p.add_argument("--max-inflight", type=int, default=64,

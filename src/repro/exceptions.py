@@ -139,3 +139,39 @@ class StageTimeoutError(ReproError):
     Raised both by the pipeline's watchdog (a stage genuinely overran)
     and by the fault plane's ``timeout`` error kind (a simulated stall).
     """
+
+
+class StoreError(ReproError):
+    """A persistent pack store is damaged or was misused.
+
+    ``kind`` names the failure class so callers (and ``fsck`` reports)
+    can distinguish recoverable damage from misuse:
+
+    ``torn``
+        The pack file ends in a partially-written record (a crash mid
+        append).  Intact records before the tear stay readable;
+        ``gc(repair=True)`` truncates the tear.
+    ``index``
+        The index file disagrees with the pack (missing, corrupt, or
+        describing records beyond the pack's end).  The store falls
+        back to scanning the pack; ``gc(repair=True)`` rewrites it.
+    ``pack``
+        The pack file itself is unusable (bad magic, missing file).
+    ``damaged``
+        A mutating operation was attempted on a store with known
+        damage; run ``gc(repair=True)`` first.
+    ``chain``
+        A delta chain exceeded its configured depth bound or references
+        a missing base object.
+    ``object``
+        A stored object failed verification when read back (its record
+        re-reads damaged, or the reconstructed bytes do not match the
+        content digest it was filed under).
+    """
+
+    def __init__(self, message: str, *, kind: str = "", offset: int = -1):
+        super().__init__(message)
+        #: Which failure class (see class docstring).
+        self.kind = kind
+        #: Byte position in the pack file, when known (-1 otherwise).
+        self.offset = offset

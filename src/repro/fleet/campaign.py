@@ -50,12 +50,14 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import perf
 from ..delta import ALGORITHMS
 from ..device.channel import get_channel
 from ..device.updater import UpdateServer, run_journaled_session
 from ..exceptions import ReproError
 from ..faults import FaultPlan, describe_failure
 from ..pipeline import DeltaPipeline, PipelineConfig, PipelineJob
+from ..store import VersionStore
 from .devices import DeviceSpec
 from .report import CampaignReport, DeviceOutcome, StageReport
 
@@ -207,23 +209,53 @@ def _build_cohorts(
     plan: Optional[FaultPlan],
     algorithm: str,
     report: CampaignReport,
+    store: Optional[VersionStore] = None,
 ) -> Tuple[Dict[Tuple[str, int], _Cohort], Dict[Tuple[str, int], str]]:
     """Encode one payload per (package, have) cohort.
 
     Returns the built cohorts plus, for cohorts whose encode failed, a
     structured reason their devices are deferred with.
+
+    With a ``store`` (``"compose"`` policy only), the release train is
+    published into it and each cohort payload is first requested as a
+    collapsed chain (:meth:`~repro.store.VersionStore.chain`) — a
+    :class:`~repro.store.PackStore` already holding the per-hop deltas
+    answers without re-diffing anything.  A store that cannot help
+    (``None``, or a damaged chain) falls back to the in-process
+    compose path below, never failing the cohort on its own.
     """
     needed = sorted({(d.package, d.have) for d in fleet
                      if d.have < len(releases[d.package]) - 1})
     cohorts: Dict[Tuple[str, int], _Cohort] = {}
     failed: Dict[Tuple[str, int], str] = {}
     if policy.encode == "compose":
+        digests: Dict[str, List[str]] = {}
+        if store is not None:
+            for package in sorted(releases):
+                digests[package] = [store.publish(package, image)
+                                    for image in releases[package]]
         server = UpdateServer(algorithm=algorithm)
         for package in sorted(releases):
             for image in releases[package]:
                 server.publish(package, image)
         for package, have in needed:
             want = len(releases[package]) - 1
+            payload = None
+            if store is not None:
+                try:
+                    payload = store.chain(package, digests[package][have],
+                                          digests[package][want])
+                except ReproError:
+                    payload = None
+                if payload is not None:
+                    perf.add("campaign.store_chain")
+            if payload is not None:
+                cohort = _Cohort(package, have, want, payload,
+                                 releases[package][have],
+                                 releases[package][want])
+                cohorts[(package, have)] = cohort
+                report.cohorts[cohort.key] = len(payload)
+                continue
             try:
                 payload = (
                     server.build_chain_payload(package, have, want)
@@ -294,6 +326,7 @@ def run_campaign(
     workers: Optional[int] = None,
     algorithm: str = "correcting",
     chunk_devices: int = 64,
+    store: Optional[VersionStore] = None,
 ) -> CampaignReport:
     """Update every device in ``fleet`` to its package's latest release.
 
@@ -302,6 +335,11 @@ def run_campaign(
     fault_plan, seed)`` across all ``executor`` modes.  ``fault_plan``'s
     per-device scopes are the device names (retry sessions append
     ``#rN``); the encode phase uses cohort keys (``pkg@have->want``).
+
+    ``store`` (``"compose"`` policy): publish the train into this
+    :class:`~repro.store.VersionStore` and source cohort payloads from
+    its collapsed delta chains, falling back to in-process composition
+    per cohort — see :func:`_build_cohorts`.
     """
     policy = policy or RolloutPolicy()
     policy.validate()
@@ -323,7 +361,7 @@ def run_campaign(
 
     # -- encode phase: one payload per stale cohort ---------------------
     cohorts, encode_failed = _build_cohorts(
-        releases, fleet, policy, fault_plan, algorithm, report)
+        releases, fleet, policy, fault_plan, algorithm, report, store)
 
     pending: List[DeviceSpec] = []
     for device in fleet:

@@ -353,6 +353,10 @@ def build_suite(quick: bool) -> List[BenchOp]:
     # a network fault storm.  Same acceptance-bar oracle, network plane.
     ops.append(_serve_op())
 
+    # Pack-store chain collapse: a client 11 versions behind served one
+    # composed in-place delta from stored chain hops.
+    ops.append(_store_op())
+
     if quick:
         return [op for op in ops if op.quick]
     return ops
@@ -525,6 +529,64 @@ def _serve_op() -> BenchOp:
         processed_bytes=clients * size,
         quick=True,
         oracle=oracle,
+    )
+
+
+def _store_op() -> BenchOp:
+    """Chain collapse over a 12-version pack-store release history.
+
+    A temp-dir :class:`~repro.store.PackStore` holds 12 mutate-derived
+    256 KiB releases of one package as stored delta chains; the op is
+    ``store.chain(first, latest)`` — decode the stored hops, fold them
+    with ``compose_chain``, convert for in-place application, encode
+    one ``IPD2`` payload.  Throughput is the chain's image volume per
+    second.  The oracle applies the payload in place over the first
+    release and demands the latest, byte-exact.
+    """
+    import shutil
+    import tempfile
+
+    from ..store import PackStore, StoreConfig
+
+    releases = 12
+    size = SMALL_SIZE
+    rng = random.Random(_SEED)
+    root = tempfile.mkdtemp(prefix="ipdelta-bench-store-")
+    store = PackStore.init(root, StoreConfig(fsync=False))
+    image = make_binary_blob(rng, size)
+    digests = []
+    images = []
+    for _ in range(releases):
+        digests.append(store.publish("app", image))
+        images.append(image)
+        image = mutate(image, rng,
+                       MutationProfile(edits_per_kb=0.55, max_edit=768))
+
+    def run():
+        return store.chain("app", digests[0], digests[-1])
+
+    def oracle(payload) -> bool:
+        from .. import patch_in_place
+        if payload is None:
+            return False
+        buf = bytearray(images[0])
+        patch_in_place(buf, payload)
+        return bytes(buf) == images[-1]
+
+    def cleanup():
+        store.close()
+        shutil.rmtree(root, ignore_errors=True)
+
+    return BenchOp(
+        name="store_chain_collapse",
+        op="store.chain",
+        run=run,
+        input_bytes={"releases": releases, "image": size},
+        processed_bytes=(releases - 1) * size,
+        quick=True,
+        oracle=oracle,
+        cleanup=cleanup,
+        min_seconds=0.25,
     )
 
 

@@ -22,13 +22,13 @@ cache per worker process (see :mod:`repro.pipeline.executor`).
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from .. import perf
+from ..store.digest import content_digest
 from ..delta.rolling import (
     DEFAULT_SEED_LENGTH,
     FullSeedIndex,
@@ -127,15 +127,12 @@ class ReferenceIndexCache:
     def digest(reference: Buffer) -> str:
         """Content digest identifying a reference buffer.
 
-        Hashes through a ``memoryview``, so ``bytearray`` and
-        ``memoryview`` references (e.g. shared-memory mappings) are
-        digested zero-copy instead of being materialized as an
-        intermediate ``bytes`` the size of the reference.
+        Delegates to :func:`repro.store.content_digest` — the one
+        digest every content-addressed layer shares, so a digest
+        computed by the shared-memory executor (or the pack store) keys
+        this cache directly.
         """
-        view = memoryview(reference)
-        if not view.c_contiguous:  # sha1 needs a contiguous buffer
-            view = memoryview(bytes(view))
-        return hashlib.sha1(view).hexdigest()
+        return content_digest(reference)
 
     # Every getter below accepts an optional precomputed ``digest``:
     # the shared-memory executor publishes each reference once and ships

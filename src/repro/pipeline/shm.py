@@ -37,16 +37,18 @@ platform exposes it, falling back to a plain
 from __future__ import annotations
 
 import atexit
-import hashlib
 import mmap
 import os
 import threading
 import uuid
+import warnings
 import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Tuple, Union
 
 from multiprocessing import shared_memory
+
+from ..store.digest import content_digest as _content_digest
 
 Buffer = Union[bytes, bytearray, memoryview]
 
@@ -58,18 +60,17 @@ SHM_DIR = "/dev/shm"
 
 
 def content_digest(data: Buffer) -> str:
-    """Content digest identifying a published buffer.
+    """Deprecated alias of :func:`repro.store.content_digest`.
 
-    Deliberately the same function as
-    :meth:`repro.pipeline.cache.ReferenceIndexCache.digest`, so a
-    descriptor's digest keys the worker-side cache directly.  Hashes
-    through a ``memoryview``: publishing a multi-megabyte buffer must
-    not materialize a second copy just to fingerprint it.
+    The library-wide content digest moved to its neutral home in
+    :mod:`repro.store.digest` when the pack store froze it into an
+    on-disk format; this re-export keeps old imports working.
     """
-    view = memoryview(data)
-    if not view.c_contiguous:  # sha1 needs a contiguous buffer
-        view = memoryview(bytes(view))
-    return hashlib.sha1(view).hexdigest()
+    warnings.warn(
+        "repro.pipeline.shm.content_digest is deprecated; import "
+        "content_digest from repro.store",
+        DeprecationWarning, stacklevel=2)
+    return _content_digest(data)
 
 
 @dataclass(frozen=True)
@@ -161,7 +162,7 @@ class SharedBufferArena:
         if length == 0:
             # No segment needed; release() treats "" as a no-op.
             return SharedBufferDescriptor("", 0, 0,
-                                          content_digest(b"") if dedupe else "")
+                                          _content_digest(b"") if dedupe else "")
         with self._lock:
             if self._closed:
                 raise ValueError("arena is closed")
@@ -173,7 +174,7 @@ class SharedBufferArena:
                     segment.refcount += 1
                     return SharedBufferDescriptor(name, 0, length,
                                                   segment.digest)
-                digest = content_digest(data)
+                digest = _content_digest(data)
                 name = self._by_digest.get(digest)
                 if name is not None:
                     segment = self._segments[name]

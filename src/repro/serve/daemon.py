@@ -36,7 +36,9 @@ import zlib
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
+
+import warnings
 
 from .. import perf
 from ..exceptions import IntegrityError, ReproError
@@ -47,6 +49,7 @@ from ..pipeline import (
     PipelineJob,
     ReferenceIndexCache,
 )
+from ..store import MemoryStore, VersionStore
 from . import protocol
 from .protocol import (
     ERR_BAD_REQUEST,
@@ -68,45 +71,23 @@ from .protocol import (
 )
 
 
-class ReleaseStore:
-    """Published versions of each package, addressed by content digest.
+class ReleaseStore(MemoryStore):
+    """Deprecated alias of :class:`repro.store.MemoryStore`.
 
-    The serving analogue of :class:`~repro.device.updater.UpdateServer`'s
-    release ledger, but keyed the way a network protocol must be: by
-    the sha1 digest of the bytes (what a client can actually assert it
-    holds), not by a release counter the client may have lost track of.
+    The in-memory release ledger moved to :mod:`repro.store` when the
+    :class:`~repro.store.VersionStore` protocol was extracted (any
+    store — this ledger, the persistent
+    :class:`~repro.store.PackStore` — now plugs into
+    :class:`DeltaServer` interchangeably).  This name keeps old
+    constructors working; new code should say ``MemoryStore``.
     """
 
     def __init__(self) -> None:
-        self._releases: Dict[str, "OrderedDict[str, bytes]"] = {}
-
-    @staticmethod
-    def digest(image: bytes) -> str:
-        return ReferenceIndexCache.digest(image)
-
-    def publish(self, package: str, image: bytes) -> str:
-        """Register ``image`` as the newest release; returns its digest."""
-        digest = self.digest(image)
-        chain = self._releases.setdefault(package, OrderedDict())
-        # Re-publishing moves the version to the head of the chain.
-        chain.pop(digest, None)
-        chain[digest] = bytes(image)
-        return digest
-
-    def packages(self) -> List[str]:
-        return sorted(self._releases)
-
-    def latest(self, package: str) -> Tuple[str, bytes]:
-        """(digest, bytes) of the newest release of ``package``."""
-        chain = self._releases[package]
-        digest = next(reversed(chain))
-        return digest, chain[digest]
-
-    def get(self, package: str, digest: str) -> bytes:
-        return self._releases[package][digest]
-
-    def __contains__(self, package: str) -> bool:
-        return package in self._releases
+        warnings.warn(
+            "repro.serve.ReleaseStore is deprecated; use "
+            "repro.store.MemoryStore (or any repro.store.VersionStore)",
+            DeprecationWarning, stacklevel=2)
+        super().__init__()
 
 
 @dataclass(frozen=True)
@@ -158,7 +139,13 @@ class DeltaServer:
     One server owns one warm :class:`DeltaPipeline` (serial executor —
     encodes are dispatched to a small thread pool here, so the event
     loop never blocks on a multi-second index build) and one
-    :class:`ReleaseStore`.  Use as::
+    :class:`~repro.store.VersionStore` — the in-memory
+    :class:`~repro.store.MemoryStore`, the persistent
+    :class:`~repro.store.PackStore`, or anything satisfying the
+    protocol.  When the store can answer :meth:`~repro.store.VersionStore.chain`
+    (a collapsed delta chain it already holds), that payload is served
+    instead of a fresh pipeline encode — ``counters["chain_served"]``
+    tracks how often.  Use as::
 
         server = DeltaServer(store, ServeConfig(port=0))
         await server.start()        # server.port now holds the bound port
@@ -166,7 +153,7 @@ class DeltaServer:
         await server.drain()        # in-flight finish, accepts refused
     """
 
-    def __init__(self, store: ReleaseStore,
+    def __init__(self, store: VersionStore,
                  config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig()
         self.config.validate()
@@ -212,6 +199,7 @@ class DeltaServer:
             "errors": 0,
             "deadline": 0,
             "encodes": 0,
+            "chain_served": 0,
             "coalesced": 0,
             "payload_hits": 0,
             "accept_faults": 0,
@@ -494,6 +482,23 @@ class DeltaServer:
 
     async def _encode(self, key: Tuple[str, str, str]) -> bytes:
         package, have, want = key
+        # A store holding the versions as a delta chain can usually
+        # collapse it into one payload far cheaper than a fresh diff;
+        # the pipeline is the fallback, not the default.  Runs on the
+        # encode pool — composition is CPU work too.
+        try:
+            chained = await self._loop.run_in_executor(
+                self._encode_pool, self.store.chain, package, have, want)
+        except ReproError:
+            # A damaged chain must not take the serving path down; the
+            # pipeline below re-diffs from the materialized images (and
+            # surfaces its own error if those are unreadable too).
+            chained = None
+        if chained is not None:
+            self.counters["chain_served"] += 1
+            perf.add("serve.chain_served")
+            self._payload_cache_put(key, chained)
+            return chained
         reference = self.store.get(package, have)
         target = self.store.get(package, want)
         job = PipelineJob(reference=reference, version=target,

@@ -25,9 +25,10 @@ from typing import Dict, List, Optional, Tuple
 
 from .. import perf
 from ..faults import FaultPlan, FaultSpec
+from ..store import MemoryStore, VersionStore
 from ..workloads import make_binary_blob, mutate
 from .client import PullOutcome, pull_async
-from .daemon import DeltaServer, ReleaseStore, ServeConfig
+from .daemon import DeltaServer, ServeConfig
 
 #: Fixed seed shared with the bench suite (the paper's publication date).
 DEFAULT_SEED = 19980601
@@ -91,11 +92,19 @@ class LoadReport:
 
 
 def build_corpus(*, packages: int = 3, releases: int = 3,
-                 size: int = 8192, seed: int = DEFAULT_SEED
-                 ) -> Tuple[ReleaseStore, Dict[str, List[Tuple[str, bytes]]]]:
-    """A release store plus, per package, its (digest, bytes) chain."""
+                 size: int = 8192, seed: int = DEFAULT_SEED,
+                 store: Optional[VersionStore] = None
+                 ) -> Tuple[VersionStore, Dict[str, List[Tuple[str, bytes]]]]:
+    """A version store plus, per package, its (digest, bytes) chain.
+
+    ``store`` chooses where the corpus lands — any
+    :class:`~repro.store.VersionStore` (a persistent
+    :class:`~repro.store.PackStore`, say); the default is a fresh
+    in-memory :class:`~repro.store.MemoryStore`.
+    """
     rng = random.Random(seed)
-    store = ReleaseStore()
+    if store is None:
+        store = MemoryStore()
     chains: Dict[str, List[Tuple[str, bytes]]] = {}
     for p in range(packages):
         package = "pkg%03d" % p
@@ -165,6 +174,7 @@ async def run_load_async(
     #: in flight at the server when the drain lands.
     stagger: float = 0.0,
     drain_after: Optional[int] = None,
+    store: Optional[VersionStore] = None,
 ) -> LoadReport:
     """Drive ``clients`` concurrent pulls; return the checked report.
 
@@ -173,9 +183,13 @@ async def run_load_async(
     complete (the SIGTERM-drains-gracefully guarantee), while pulls
     connecting after the drain land on a closed socket and terminate as
     structured failures.
+
+    ``store``, when given, receives the corpus and backs the server —
+    the way the storm is pointed at a persistent
+    :class:`~repro.store.PackStore` instead of the in-memory default.
     """
     store, chains = build_corpus(packages=packages, releases=releases,
-                                 size=size, seed=seed)
+                                 size=size, seed=seed, store=store)
     specs = build_clients(chains, clients)
     report = LoadReport(clients=clients,
                         distinct_pairs=len({s.pair for s in specs}))

@@ -7,6 +7,7 @@ import pytest
 
 import repro
 import repro.pipeline
+import repro.store
 
 DOCS_API = Path(__file__).resolve().parent.parent / "docs" / "API.md"
 
@@ -118,3 +119,15 @@ class TestDocsMatchSurface:
     def test_pipeline_exports_resolve(self):
         for name in repro.pipeline.__all__:
             assert hasattr(repro.pipeline, name), name
+
+    def test_store_surface_documented(self):
+        documented = _documented_names("repro.store")
+        exported = set(repro.store.__all__)
+        assert documented == exported, (
+            "undocumented: %s / stale docs: %s"
+            % (sorted(exported - documented), sorted(documented - exported))
+        )
+
+    def test_store_exports_resolve(self):
+        for name in repro.store.__all__:
+            assert hasattr(repro.store, name), name

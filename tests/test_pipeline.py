@@ -196,16 +196,18 @@ class TestReferenceIndexCache:
     def test_digest_hashes_through_memoryview(self, rng, monkeypatch):
         # The digest must hash the buffer zero-copy: sha1 receives a
         # memoryview of the original buffer, never a materialized copy.
-        import repro.pipeline.cache as cache_mod
+        # (The implementation lives in repro.store.digest, the shared
+        # home of every content-addressed layer's digest.)
+        import repro.store.digest as digest_mod
         data = rng.randbytes(4_096)
         seen = []
-        real = cache_mod.hashlib.sha1
+        real = digest_mod.hashlib.sha1
 
         def spy(buf):
             seen.append(buf)
             return real(buf)
 
-        monkeypatch.setattr(cache_mod.hashlib, "sha1", spy)
+        monkeypatch.setattr(digest_mod.hashlib, "sha1", spy)
         for buf in (data, bytearray(data), memoryview(data)):
             assert ReferenceIndexCache.digest(buf) == real(data).hexdigest()
         assert len(seen) == 3

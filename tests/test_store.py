@@ -1,0 +1,479 @@
+"""The ``repro.store`` contract suite.
+
+Covers the pack store end to end: ≥50 versions across ≥3 packages
+round-tripping byte-exact through publish/close/reopen, similarity-
+grouped base selection with its delta-vs-full fallback and chain-depth
+limit, chain collapse (a client K versions behind gets ONE composed
+in-place delta, asserted via perf counters), gc/repack semantics, and
+the :class:`~repro.store.VersionStore` protocol conformance shared by
+:class:`~repro.store.MemoryStore` and
+:class:`~repro.store.PackStore` — including the documented
+``latest``-ordering contract and the deprecation shims left behind by
+the API move (``repro.serve.ReleaseStore``,
+``repro.pipeline.shm.content_digest``).
+
+Crash-safety (torn packs, stale indexes, repair) lives in
+``tests/test_store_crash.py``.
+"""
+
+import asyncio
+import random
+import warnings
+
+import pytest
+
+import repro
+from repro import perf
+from repro.exceptions import StoreError
+from repro.serve import DeltaServer, ServeConfig, pull_async, run_load_async
+from repro.store import (
+    MemoryStore,
+    PackStore,
+    StoreConfig,
+    VersionStore,
+    content_digest,
+)
+from repro.store.pack import STORED_DELTA, STORED_FULL
+from repro.workloads import make_binary_blob, mutate
+
+SEED = 19980601
+
+#: fsync off: these tests hammer publish in loops and the durability
+#: path itself is exercised by tests/test_store_crash.py.
+FAST = StoreConfig(fsync=False)
+
+
+def _publish_chain(store, package, rng, releases, size=8192):
+    """Publish a mutate-derived release chain; returns [(digest, bytes)]."""
+    image = make_binary_blob(rng, size)
+    chain = []
+    for _ in range(releases):
+        digest = store.publish(package, image)
+        chain.append((digest, bytes(image)))
+        image = mutate(image, rng)
+    return chain
+
+
+class TestStoreConfig:
+    def test_defaults_validate(self):
+        StoreConfig().validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"algorithm": "magic"},
+        {"max_chain_depth": 0},
+        {"delta_max_ratio": 0.0},
+        {"delta_max_ratio": 1.5},
+        {"min_delta_size": -1},
+        {"similarity_window": 0},
+        {"similarity_threshold": 1.5},
+        {"similarity_probes": 0},
+        {"cache_bytes": -1},
+    ])
+    def test_nonsense_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            StoreConfig(**kwargs).validate()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            StoreConfig().max_chain_depth = 3
+
+
+class TestLifecycle:
+    def test_init_twice_refuses(self, tmp_path):
+        PackStore.init(tmp_path / "s", FAST)
+        with pytest.raises(StoreError) as exc:
+            PackStore.init(tmp_path / "s", FAST)
+        assert exc.value.kind == "pack"
+
+    def test_open_uninitialized_refuses(self, tmp_path):
+        with pytest.raises(StoreError) as exc:
+            PackStore(tmp_path / "nowhere")
+        assert exc.value.kind == "pack"
+        assert "store init" in str(exc.value)
+
+    def test_empty_store_shape(self, tmp_path):
+        store = PackStore.init(tmp_path / "s", FAST)
+        assert store.packages() == []
+        assert "pkg" not in store
+        assert store.generation == 1
+        assert store.fsck().ok
+
+    def test_unknown_package_and_digest_raise_keyerror(self, tmp_path):
+        store = PackStore.init(tmp_path / "s", FAST)
+        store.publish("pkg", b"x" * 512)
+        with pytest.raises(KeyError):
+            store.latest("nope")
+        with pytest.raises(KeyError):
+            store.get("pkg", "0" * 40)
+
+
+class TestRoundTrip:
+    """The acceptance bar: ≥50 versions, ≥3 packages, byte-exact."""
+
+    PACKAGES = 3
+    RELEASES = 17  # 3 x 17 = 51 versions
+
+    @pytest.fixture(scope="class")
+    def populated(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("roundtrip") / "store"
+        store = PackStore.init(root, FAST)
+        rng = random.Random(SEED)
+        chains = {}
+        for p in range(self.PACKAGES):
+            package = "pkg%02d" % p
+            chains[package] = _publish_chain(store, package, rng,
+                                             self.RELEASES, size=4096)
+        store.close()
+        return root, chains
+
+    def test_every_version_survives_reopen_byte_exact(self, populated):
+        root, chains = populated
+        store = PackStore(root, FAST)
+        assert store.damage == []
+        for package, chain in chains.items():
+            assert store.versions(package) == [d for d, _ in chain]
+            for digest, image in chain:
+                assert store.get(package, digest) == image
+            digest, latest = store.latest(package)
+            assert (digest, latest) == chain[-1]
+
+    def test_fsck_verifies_all_versions(self, populated):
+        root, chains = populated
+        store = PackStore(root, FAST)
+        report = store.fsck()
+        assert report.ok
+        assert report.packages == self.PACKAGES
+        assert report.versions == self.PACKAGES * self.RELEASES
+        assert report.verified == report.versions
+        assert report.versions >= 50
+
+    def test_deltification_actually_compresses(self, populated):
+        root, chains = populated
+        store = PackStore(root, FAST)
+        stats = store.stats()
+        assert stats["delta_objects"] > stats["full_objects"]
+        assert stats["stored_bytes"] < stats["object_bytes"] // 2
+        assert stats["max_depth"] <= store.config.max_chain_depth
+        for package in chains:
+            for entry in store.log(package)[1:]:
+                if entry["stored"] == STORED_DELTA:
+                    assert entry["base"]
+                    assert entry["depth"] >= 1
+
+    def test_gc_is_byte_stable_and_bumps_generation(self, populated,
+                                                    tmp_path):
+        root, chains = populated
+        import shutil
+        work = tmp_path / "store"
+        shutil.copytree(root, work)
+        store = PackStore(work, FAST)
+        old_pack = store.pack_path
+        report = store.gc()
+        assert report.objects_after == report.objects_before
+        assert report.dropped_versions == 0
+        assert store.generation == 2
+        assert not old_pack.exists()
+        for package, chain in chains.items():
+            for digest, image in chain:
+                assert store.get(package, digest) == image
+        assert store.fsck().ok
+
+
+class TestBaseSelection:
+    def test_similar_versions_deltify_dissimilar_store_full(self, tmp_path):
+        store = PackStore.init(tmp_path / "s", FAST)
+        rng = random.Random(SEED)
+        base = make_binary_blob(rng, 8192)
+        with perf.recording() as recorder:
+            store.publish("pkg", base)
+            store.publish("pkg", mutate(base, rng))
+            # An unrelated blob: no probe lands, similarity gating
+            # stores it full even though the log has candidates.
+            store.publish("pkg", make_binary_blob(rng, 8192))
+        log = store.log("pkg")
+        assert [e["stored"] for e in log] == [
+            STORED_FULL, STORED_DELTA, STORED_FULL]
+        assert log[1]["base"] == log[0]["digest"]
+        assert recorder.counters["store.publish.delta"] == 1
+        assert recorder.counters["store.publish.full"] == 2
+
+    def test_delta_vs_full_ratio_fallback(self, tmp_path):
+        # A ratio no real delta beats: similar bytes still store full,
+        # through the explicit fallback path (Snippet-1 style).
+        cfg = StoreConfig(fsync=False, delta_max_ratio=0.001)
+        store = PackStore.init(tmp_path / "s", cfg)
+        rng = random.Random(SEED)
+        base = make_binary_blob(rng, 8192)
+        with perf.recording() as recorder:
+            store.publish("pkg", base)
+            store.publish("pkg", mutate(base, rng))
+        assert recorder.counters["store.publish.fallback"] == 1
+        assert [e["stored"] for e in store.log("pkg")] == [
+            STORED_FULL, STORED_FULL]
+
+    def test_min_delta_size_stores_small_images_full(self, tmp_path):
+        cfg = StoreConfig(fsync=False, min_delta_size=100_000)
+        store = PackStore.init(tmp_path / "s", cfg)
+        rng = random.Random(SEED)
+        base = make_binary_blob(rng, 4096)
+        store.publish("pkg", base)
+        store.publish("pkg", mutate(base, rng))
+        assert all(e["stored"] == STORED_FULL for e in store.log("pkg"))
+
+    def test_chain_depth_limit_bounds_every_chain(self, tmp_path):
+        cfg = StoreConfig(fsync=False, max_chain_depth=2,
+                          similarity_window=2)
+        store = PackStore.init(tmp_path / "s", cfg)
+        rng = random.Random(SEED)
+        with perf.recording() as recorder:
+            _publish_chain(store, "pkg", rng, 10)
+        assert store.stats()["max_depth"] <= 2
+        assert all(e["depth"] <= 2 for e in store.log("pkg"))
+        # The limit actually bit: deep candidates were skipped.
+        assert recorder.counters["store.publish.depth_limited"] >= 1
+        assert store.fsck().ok
+
+    def test_dedupe_same_bytes_one_object(self, tmp_path):
+        store = PackStore.init(tmp_path / "s", FAST)
+        blob = b"shared payload " * 100
+        with perf.recording() as recorder:
+            d1 = store.publish("alpha", blob)
+            d2 = store.publish("beta", blob)
+        assert d1 == d2 == content_digest(blob)
+        assert recorder.counters["store.publish.dedupe"] == 1
+        assert store.stats()["objects"] == 1
+        assert store.get("alpha", d1) == store.get("beta", d2) == blob
+
+
+class TestChainCollapse:
+    """A client K versions behind costs ONE composed in-place delta."""
+
+    def test_five_behind_one_payload_counters_pinned(self, tmp_path):
+        store = PackStore.init(tmp_path / "s", FAST)
+        rng = random.Random(SEED)
+        chain = _publish_chain(store, "pkg", rng, 6)
+        have, want = chain[0][0], chain[-1][0]
+        with perf.recording() as recorder:
+            payload = store.chain("pkg", have, want)
+        assert payload is not None
+        buf = bytearray(chain[0][1])
+        repro.patch_in_place(buf, payload)
+        assert bytes(buf) == chain[-1][1]
+        assert recorder.counters["store.chain.collapsed"] == 1
+        assert recorder.counters["store.chain.hops"] == 5
+        # Every hop came from somewhere accountable: the stored pack
+        # delta when storage-aligned, a fresh diff otherwise.
+        assert (recorder.counters.get("store.chain.stored_hops", 0)
+                + recorder.counters.get("store.chain.hop_diffs", 0)) == 5
+        # With default config the storage chain is the release chain,
+        # so most hops are reused, not re-diffed.
+        assert recorder.counters.get("store.chain.stored_hops", 0) >= 3
+
+    def test_one_behind_and_every_intermediate_pair(self, tmp_path):
+        store = PackStore.init(tmp_path / "s", FAST)
+        rng = random.Random(SEED)
+        chain = _publish_chain(store, "pkg", rng, 4, size=4096)
+        for i in range(len(chain)):
+            for j in range(i + 1, len(chain)):
+                payload = store.chain("pkg", chain[i][0], chain[j][0])
+                assert payload is not None
+                buf = bytearray(chain[i][1])
+                repro.patch_in_place(buf, payload)
+                assert bytes(buf) == chain[j][1]
+
+    def test_chain_declines_when_it_cannot_help(self, tmp_path):
+        store = PackStore.init(tmp_path / "s", FAST)
+        rng = random.Random(SEED)
+        chain = _publish_chain(store, "pkg", rng, 3, size=4096)
+        d0, d2 = chain[0][0], chain[2][0]
+        assert store.chain("nope", d0, d2) is None
+        assert store.chain("pkg", "f" * 40, d2) is None
+        assert store.chain("pkg", d0, d0) is None
+        assert store.chain("pkg", d2, d0) is None  # backwards
+
+    def test_chain_survives_gc(self, tmp_path):
+        store = PackStore.init(tmp_path / "s", FAST)
+        rng = random.Random(SEED)
+        chain = _publish_chain(store, "pkg", rng, 5, size=4096)
+        store.gc()
+        payload = store.chain("pkg", chain[0][0], chain[-1][0])
+        buf = bytearray(chain[0][1])
+        repro.patch_in_place(buf, payload)
+        assert bytes(buf) == chain[-1][1]
+
+    def test_memory_store_always_declines(self):
+        store = MemoryStore()
+        d1 = store.publish("pkg", b"a" * 512)
+        d2 = store.publish("pkg", b"b" * 512)
+        assert store.chain("pkg", d1, d2) is None
+
+
+class TestGc:
+    def test_keep_last_trims_and_drops_unreachable(self, tmp_path):
+        store = PackStore.init(tmp_path / "s", FAST)
+        rng = random.Random(SEED)
+        chain = _publish_chain(store, "pkg", rng, 6, size=4096)
+        report = store.gc(keep_last=3)
+        assert report.dropped_versions == 3
+        assert report.objects_after < report.objects_before
+        assert store.versions("pkg") == [d for d, _ in chain[-3:]]
+        for digest, image in chain[-3:]:
+            assert store.get("pkg", digest) == image
+        for digest, _ in chain[:3]:
+            with pytest.raises(KeyError):
+                store.get("pkg", digest)
+        assert store.fsck().ok
+
+    def test_keep_last_validates(self, tmp_path):
+        store = PackStore.init(tmp_path / "s", FAST)
+        with pytest.raises(ValueError):
+            store.gc(keep_last=0)
+
+    def test_gc_report_schema(self, tmp_path):
+        store = PackStore.init(tmp_path / "s", FAST)
+        store.publish("pkg", b"x" * 512)
+        data = store.gc().to_json()
+        assert data["schema"] == "repro.store.gc/1"
+        assert data["objects_after"] == 1
+        assert data["repaired"] == []
+
+
+@pytest.fixture(params=["memory", "pack"])
+def any_store(request, tmp_path):
+    """Both VersionStore implementations, for the shared conformance bar."""
+    if request.param == "memory":
+        return MemoryStore()
+    return PackStore.init(tmp_path / "conformance", FAST)
+
+
+class TestVersionStoreConformance:
+    """One contract, two implementations (see repro.store.api docs)."""
+
+    def test_satisfies_protocol(self, any_store):
+        assert isinstance(any_store, VersionStore)
+
+    def test_publish_get_latest(self, any_store):
+        digest = any_store.publish("pkg", b"v1" * 300)
+        assert any_store.get("pkg", digest) == b"v1" * 300
+        assert any_store.latest("pkg") == (digest, b"v1" * 300)
+        assert any_store.packages() == ["pkg"]
+        assert "pkg" in any_store and "other" not in any_store
+        assert any_store.digest(b"v1" * 300) == digest
+
+    def test_latest_is_publish_order(self, any_store):
+        """Satellite: the documented latest-ordering contract."""
+        a = any_store.publish("pkg", b"alpha" * 200)
+        b = any_store.publish("pkg", b"beta" * 200)
+        assert any_store.latest("pkg")[0] == b
+        assert any_store.versions("pkg") == [a, b]
+
+    def test_republish_moves_to_head(self, any_store):
+        a = any_store.publish("pkg", b"alpha" * 200)
+        b = any_store.publish("pkg", b"beta" * 200)
+        assert any_store.publish("pkg", b"alpha" * 200) == a
+        digest, latest = any_store.latest("pkg")
+        assert digest == a and latest == b"alpha" * 200
+        # Moved, not duplicated.
+        assert any_store.versions("pkg") == [b, a]
+
+    def test_chain_never_lies(self, any_store):
+        """chain() either declines or returns a byte-exact payload."""
+        rng = random.Random(SEED)
+        chain = _publish_chain(any_store, "pkg", rng, 3, size=4096)
+        payload = any_store.chain("pkg", chain[0][0], chain[-1][0])
+        if payload is not None:
+            buf = bytearray(chain[0][1])
+            repro.patch_in_place(buf, payload)
+            assert bytes(buf) == chain[-1][1]
+
+
+class TestPersistentOrdering:
+    def test_republish_order_survives_reopen(self, tmp_path):
+        root = tmp_path / "s"
+        store = PackStore.init(root, FAST)
+        a = store.publish("pkg", b"alpha" * 200)
+        b = store.publish("pkg", b"beta" * 200)
+        store.publish("pkg", b"alpha" * 200)
+        store.close()
+        reopened = PackStore(root, FAST)
+        assert reopened.versions("pkg") == [b, a]
+        assert reopened.latest("pkg")[0] == a
+
+
+class TestDeprecationShims:
+    def test_release_store_warns_and_is_a_memory_store(self):
+        from repro.serve import ReleaseStore
+        with pytest.warns(DeprecationWarning, match="MemoryStore"):
+            store = ReleaseStore()
+        assert isinstance(store, MemoryStore)
+        assert isinstance(store, VersionStore)
+
+    def test_shm_content_digest_warns_and_delegates(self):
+        from repro.pipeline import shm
+        with pytest.warns(DeprecationWarning, match="repro.store"):
+            digest = shm.content_digest(b"payload")
+        assert digest == content_digest(b"payload")
+
+    def test_new_homes_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            content_digest(b"payload")
+            MemoryStore().publish("pkg", b"payload")
+
+
+class TestServeFromStore:
+    """The serving acceptance: DeltaServer consumes any VersionStore."""
+
+    def _chain_store(self, root, releases=6):
+        store = PackStore.init(root, FAST)
+        rng = random.Random(SEED)
+        chain = _publish_chain(store, "pkg", rng, releases)
+        return store, [image for _digest, image in chain]
+
+    def test_five_behind_served_one_composed_delta(self, tmp_path):
+        store, chain = self._chain_store(tmp_path / "s")
+
+        async def go(server):
+            async with server:
+                return await pull_async(server.host, server.port, "pkg",
+                                        chain[0])
+
+        with perf.recording() as recorder:
+            server = DeltaServer(store, ServeConfig(port=0))
+            outcome = asyncio.run(go(server))
+        assert outcome.status == "applied"
+        assert outcome.image == chain[-1]
+        # Exactly one collapsed chain payload — the pipeline encoder
+        # never ran.
+        assert server.counters["chain_served"] == 1
+        assert server.counters["encodes"] == 0
+        assert recorder.counters["serve.chain_served"] == 1
+        assert recorder.counters["store.chain.collapsed"] == 1
+        assert recorder.counters["store.chain.hops"] == 5
+        assert recorder.counters.get("serve.encodes", 0) == 0
+
+    def test_unknown_reference_falls_back_to_pipeline(self, tmp_path):
+        # A client holding bytes the store never published is a
+        # structured failure, exactly as with the in-memory store.
+        store, chain = self._chain_store(tmp_path / "s", releases=2)
+
+        async def go(server):
+            async with server:
+                return await pull_async(server.host, server.port, "pkg",
+                                        b"never published" * 100)
+
+        outcome = asyncio.run(go(DeltaServer(store, ServeConfig(port=0))))
+        assert outcome.status == "failed"
+        assert "unknown-version" in outcome.reason
+
+    def test_load_storm_against_pack_store(self, tmp_path):
+        store = PackStore.init(tmp_path / "s", FAST)
+        report = asyncio.run(run_load_async(
+            clients=12, packages=2, releases=3, size=4096, seed=SEED,
+            store=store))
+        assert report.silent == []
+        assert report.applied == report.byte_exact == report.clients
+        # Every distinct pair was answered from the store's chains; the
+        # pipeline encoder stayed cold.
+        assert report.server_counters["chain_served"] >= 1
+        assert report.counters.get("serve.encodes", 0) == 0

@@ -1,0 +1,316 @@
+"""Crash-safety: a kill at ANY write boundary never loses intact data.
+
+The pack is the journal of record; the index a derived cache.  These
+tests enumerate every record boundary of a populated pack (via
+:func:`repro.store.pack.scan_records`) and truncate the file at each
+boundary *and* mid-record, simulating a power cut at that exact byte.
+For every cut the store must (1) open with structured damage, (2)
+refuse mutation, (3) report the damage through :meth:`fsck`, and
+(4) recover **all** objects whose records survive intact via
+``gc(repair=True)`` — computed independently here by replaying the
+truncated prefix, so the recovery claim is checked against an oracle,
+not against the store's own opinion.
+
+Index damage gets the same treatment: corrupt bytes, deletion, and the
+stale-index window (crash between a fsynced pack append and the index
+rewrite) which must *roll forward*, not lose the publish.
+"""
+
+import random
+import shutil
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.store import PackStore, StoreConfig
+from repro.store.pack import (
+    INDEX_NAME,
+    PACK_MAGIC,
+    REC_OBJECT,
+    REC_REF,
+    decode_object_payload,
+    scan_records,
+)
+from repro.workloads import make_binary_blob, mutate
+
+SEED = 19980601
+CFG = StoreConfig(fsync=False)
+
+
+def _seed_store(root, packages=2, releases=3, size=2048):
+    """A small populated store; returns (store, {(package, digest): bytes})."""
+    store = PackStore.init(root, CFG)
+    rng = random.Random(SEED)
+    images = {}
+    for p in range(packages):
+        package = "pkg%d" % p
+        image = make_binary_blob(rng, size)
+        for _ in range(releases):
+            digest = store.publish(package, image)
+            images[(package, digest)] = bytes(image)
+            image = mutate(image, rng)
+    return store, images
+
+
+def _intact_state(pack_bytes):
+    """Oracle: the versions a truncated pack still fully describes.
+
+    Replays the intact record prefix with the store's own invariants
+    (an object needs its base; a version needs its object; re-publish
+    moves to head) — independently of PackStore's loader.
+    """
+    records, _torn = scan_records(pack_bytes, start=len(PACK_MAGIC))
+    objects = set()
+    logs = {}
+    for rec in records:
+        header, _data = decode_object_payload(rec.payload)
+        if rec.kind == REC_OBJECT:
+            base = str(header.get("base", ""))
+            if not base or base in objects:
+                objects.add(str(header["digest"]))
+        elif rec.kind == REC_REF:
+            digest = str(header["digest"])
+            if digest in objects:
+                log = logs.setdefault(str(header["package"]), [])
+                if digest in log:
+                    log.remove(digest)
+                log.append(digest)
+    return logs
+
+
+@pytest.fixture(scope="module")
+def pristine(tmp_path_factory):
+    """One pristine store per module; every test copies, never mutates."""
+    root = tmp_path_factory.mktemp("pristine") / "store"
+    store, images = _seed_store(root)
+    pack = store.pack_path.read_bytes()
+    store.close()
+    return root, images, pack
+
+
+def _copy(pristine_root, dst):
+    shutil.copytree(pristine_root, dst)
+    return dst
+
+
+class TestEveryTruncationPoint:
+    def test_kill_at_every_boundary_recovers_all_intact_objects(
+            self, pristine, tmp_path):
+        root, images, pack = pristine
+        records, torn = scan_records(pack, start=len(PACK_MAGIC))
+        assert torn is None and len(records) >= 12
+        # Cut points: before each record (a kill between appends), one
+        # byte in (torn kind byte), and mid-record (torn payload); plus
+        # a cut inside the magic itself.  The full length is excluded —
+        # that file is simply clean.
+        cuts = {2}
+        for rec in records:
+            cuts.update((rec.offset, rec.offset + 1,
+                         rec.offset + rec.framed_length // 2))
+        for i, cut in enumerate(sorted(cuts)):
+            work = _copy(root, tmp_path / ("cut%04d" % i))
+            with open(work / "pack-000001.pack", "r+b") as handle:
+                handle.truncate(cut)
+
+            store = PackStore(work, CFG)
+            # (1) structured damage, not an exception or a misread.
+            assert store.damage, "cut at %d opened clean" % cut
+            assert all(isinstance(d, StoreError) for d in store.damage)
+            # (2) mutation refused until repair.
+            with pytest.raises(StoreError) as exc:
+                store.publish("pkgX", b"z" * 512)
+            assert exc.value.kind == "damaged"
+            with pytest.raises(StoreError):
+                store.gc()
+            # (3) fsck reports it.
+            assert not store.fsck(verify_objects=False).ok
+            # (4) repair recovers exactly the oracle's intact prefix.
+            expected = _intact_state(pack[:cut])
+            report = store.gc(repair=True)
+            assert report.repaired
+            assert store.damage == []
+            assert store.fsck().ok
+            assert store.packages() == sorted(expected)
+            for package, log in expected.items():
+                assert store.versions(package) == log
+                for digest in log:
+                    assert store.get(package, digest) == \
+                        images[(package, digest)]
+            # The repaired store is writable again.
+            store.publish("pkgX", b"z" * 512)
+            store.close()
+
+    def test_clean_boundary_cut_is_index_damage(self, pristine, tmp_path):
+        # Truncation exactly at a record boundary leaves a structurally
+        # valid shorter pack; only the index length check catches it.
+        root, _images, pack = pristine
+        records, _ = scan_records(pack, start=len(PACK_MAGIC))
+        cut = records[-1].offset
+        work = _copy(root, tmp_path / "work")
+        with open(work / "pack-000001.pack", "r+b") as handle:
+            handle.truncate(cut)
+        store = PackStore(work, CFG)
+        assert any(d.kind == "index" for d in store.damage)
+
+    def test_mid_record_cut_is_torn_damage(self, pristine, tmp_path):
+        root, _images, pack = pristine
+        records, _ = scan_records(pack, start=len(PACK_MAGIC))
+        cut = records[-1].offset + records[-1].framed_length // 2
+        work = _copy(root, tmp_path / "work")
+        with open(work / "pack-000001.pack", "r+b") as handle:
+            handle.truncate(cut)
+        store = PackStore(work, CFG)
+        assert any(d.kind == "torn" for d in store.damage)
+        problems = store.fsck(verify_objects=False).problems
+        assert any(p.kind == "torn" for p in problems)
+
+
+class TestBitFlips:
+    def test_flipped_payload_byte_detected_structurally(self, pristine,
+                                                        tmp_path):
+        # A bit flip that preserves the pack's length is *latent*: the
+        # index still matches, so the store opens trusted.  The flip
+        # must surface structurally the moment it matters — a CRC trip
+        # on read, and a torn finding from fsck's full rescan — never
+        # as a misparse or wrong bytes.
+        root, _images, pack = pristine
+        records, _ = scan_records(pack, start=len(PACK_MAGIC))
+        victim = next(r for r in records if r.kind == REC_OBJECT)
+        work = _copy(root, tmp_path / "work")
+        path = work / "pack-000001.pack"
+        blob = bytearray(path.read_bytes())
+        blob[victim.offset + 5] ^= 0xFF
+        path.write_bytes(blob)
+
+        store = PackStore(work, CFG)
+        assert store.damage == []  # length matches: trusted on open
+        report = store.fsck()
+        assert not report.ok
+        assert any(p.kind == "torn" for p in report.problems)
+        package = next(p for p in store.packages())
+        with pytest.raises(StoreError) as exc:
+            store.get(package, store.versions(package)[0])
+        assert exc.value.kind == "object"
+        store.close()
+
+        # Recovery path: drop the lying index; the scan-based open sees
+        # the tear as structured damage and repair rebuilds the intact
+        # prefix (here: nothing survives — the flip hit the first
+        # record, and everything behind a tear is unreachable).
+        (work / INDEX_NAME).unlink()
+        reopened = PackStore(work, CFG)
+        assert any(d.kind == "torn" for d in reopened.damage)
+        reopened.gc(repair=True)
+        assert reopened.fsck().ok
+        assert reopened.packages() == sorted(_intact_state(
+            bytes(blob[:victim.offset])))
+
+
+class TestIndexDamage:
+    def test_corrupt_index_degrades_to_scan(self, pristine, tmp_path):
+        root, images, _pack = pristine
+        work = _copy(root, tmp_path / "work")
+        path = work / INDEX_NAME
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(blob)
+        store = PackStore(work, CFG)
+        assert any(d.kind == "index" for d in store.damage)
+        # The pack is intact, so the scan recovered everything.
+        for (package, digest), image in images.items():
+            assert store.get(package, digest) == image
+        store.gc(repair=True)
+        assert store.fsck().ok
+
+    def test_missing_index_degrades_to_scan(self, pristine, tmp_path):
+        root, images, _pack = pristine
+        work = _copy(root, tmp_path / "work")
+        (work / INDEX_NAME).unlink()
+        store = PackStore(work, CFG)
+        assert any(d.kind == "index" for d in store.damage)
+        for (package, digest), image in images.items():
+            assert store.get(package, digest) == image
+        store.gc(repair=True)
+        assert store.fsck().ok
+
+    def test_stale_index_rolls_the_publish_forward(self, tmp_path):
+        # Crash window between the fsynced pack append and the index
+        # rewrite: the pack is ahead of the index.  The publish MUST
+        # survive — it was acknowledged after an fsync.
+        root = tmp_path / "store"
+        store, images = _seed_store(root)
+        stale = (root / INDEX_NAME).read_bytes()
+        extra = make_binary_blob(random.Random(7), 2048)
+        digest = store.publish("pkg0", extra)
+        store.close()
+        (root / INDEX_NAME).write_bytes(stale)
+
+        reopened = PackStore(root, CFG)
+        assert any(d.kind == "index" for d in reopened.damage)
+        assert reopened.versions("pkg0")[-1] == digest
+        assert reopened.get("pkg0", digest) == extra
+        reopened.gc(repair=True)
+        assert reopened.fsck().ok
+        assert reopened.latest("pkg0") == (digest, extra)
+
+    def test_stale_index_with_torn_tail(self, tmp_path):
+        # Same window, but the kill also tore the trailing ref record:
+        # roll-forward keeps the intact prefix and reports the tear.
+        root = tmp_path / "store"
+        store, _images = _seed_store(root)
+        stale = (root / INDEX_NAME).read_bytes()
+        store.publish("pkg0", make_binary_blob(random.Random(7), 2048))
+        pack_path = store.pack_path
+        store.close()
+        (root / INDEX_NAME).write_bytes(stale)
+        with open(pack_path, "r+b") as handle:
+            handle.truncate(pack_path.stat().st_size - 3)
+
+        reopened = PackStore(root, CFG)
+        kinds = {d.kind for d in reopened.damage}
+        assert "index" in kinds and "torn" in kinds
+        reopened.gc(repair=True)
+        assert reopened.fsck().ok
+
+
+class TestGcCrash:
+    def test_leftover_next_generation_pack_is_swept(self, pristine,
+                                                    tmp_path):
+        # A gc that wrote its new pack but died before the index rename
+        # committed: the old generation is still authoritative; the
+        # orphan is garbage to sweep, not damage.
+        root, images, pack = pristine
+        work = _copy(root, tmp_path / "work")
+        (work / "pack-000002.pack").write_bytes(pack)
+        store = PackStore(work, CFG)
+        assert store.damage == []
+        assert store.generation == 1
+        assert not (work / "pack-000002.pack").exists()
+        for (package, digest), image in images.items():
+            assert store.get(package, digest) == image
+
+    def test_stray_tmp_files_are_swept(self, pristine, tmp_path):
+        root, _images, _pack = pristine
+        work = _copy(root, tmp_path / "work")
+        (work / (INDEX_NAME + ".tmp")).write_bytes(b"half-written")
+        store = PackStore(work, CFG)
+        assert store.damage == []
+        assert not (work / (INDEX_NAME + ".tmp")).exists()
+
+    def test_gc_crash_after_index_rename_recovers_on_open(self, tmp_path):
+        # The index rename is gc's commit point; death before the old
+        # pack is unlinked leaves both generations — open must pick the
+        # committed one and sweep the stale.
+        root = tmp_path / "store"
+        store, images = _seed_store(root)
+        store.gc()
+        assert store.generation == 2
+        # Resurrect a stale previous generation.
+        (root / "pack-000001.pack").write_bytes(bytes(PACK_MAGIC))
+        store.close()
+        reopened = PackStore(root, CFG)
+        assert reopened.damage == []
+        assert reopened.generation == 2
+        assert not (root / "pack-000001.pack").exists()
+        for (package, digest), image in images.items():
+            assert reopened.get(package, digest) == image
